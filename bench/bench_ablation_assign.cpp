@@ -1,0 +1,70 @@
+// Ablation: the three slab-assignment modes of the two-sets clipper —
+// the paper's replicate-and-deduplicate scheme against the exact
+// alternatives this library adds (subject-owner, block closure) — on the
+// Intersect(3,4) and Union(3,4) workloads. Reported per mode: wall time,
+// total clip work across slabs (serialized), duplicates removed, and the
+// area deviation from the sequential result.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/gis_sim.hpp"
+#include "mt/multiset.hpp"
+#include "seq/vatti.hpp"
+
+int main() {
+  using namespace psclip;
+  const double scale = bench::dataset_scale();
+  bench::header("Ablation — multiset slab assignment modes",
+                "paper §IV replication scheme vs exact alternatives");
+  std::printf("dataset scale = %g, slabs = 8\n", scale);
+
+  const auto d3 = data::make_dataset(3, scale);
+  const auto d4 = data::make_dataset(4, scale);
+
+  struct Job {
+    const char* name;
+    geom::BoolOp op;
+  };
+  const Job jobs[] = {{"Intersect(3,4)", geom::BoolOp::kIntersection},
+                      {"Union(3,4)", geom::BoolOp::kUnion}};
+  const mt::MultisetAssign modes[] = {mt::MultisetAssign::kSubjectOwner,
+                                      mt::MultisetAssign::kReplicate,
+                                      mt::MultisetAssign::kBlockClosure};
+
+  for (const auto& job : jobs) {
+    const geom::PolygonSet seq_result = seq::vatti_clip(d3, d4, job.op);
+    const double seq_area = geom::signed_area(seq_result);
+    std::printf("\n%s (sequential area %.6f):\n", job.name, seq_area);
+    std::printf("%-15s %10s %12s %10s %8s %12s\n", "mode", "time (ms)",
+                "work (ms)", "max slab", "dups", "area dev");
+    for (const auto mode : modes) {
+      par::ThreadPool pool(1);  // serialized: times are work measurements
+      mt::MultisetOptions o;
+      o.slabs = 8;
+      o.assign = mode;
+      mt::Alg2Stats st;
+      geom::PolygonSet r;
+      const double sec = bench::time_median3(
+          [&] { r = mt::multiset_clip(d3, d4, job.op, pool, o, &st); });
+      double work = 0.0, mx = 0.0;
+      for (const auto& s : st.slabs) {
+        work += s.seconds;
+        mx = std::max(mx, s.seconds);
+      }
+      const double dev = std::fabs(geom::signed_area(r) - seq_area) /
+                         (1.0 + std::fabs(seq_area));
+      std::printf("%-15s %10.2f %12.2f %10.2f %8lld %12.1e\n",
+                  mt::to_string(mode), sec * 1e3, work * 1e3, mx * 1e3,
+                  static_cast<long long>(st.duplicates_removed), dev);
+    }
+  }
+  std::printf(
+      "\nsubject-owner: exact for INT/DIFF, least work, no dedup.\n"
+      "replicate (paper): exact for INT; union deviates when clusters span "
+      "slabs.\nblock-closure: exact for all ops; work degrades when MBR "
+      "intervals chain.\n");
+  return 0;
+}

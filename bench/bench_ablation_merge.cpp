@@ -1,0 +1,43 @@
+// Ablation: Step 4 merge strategy — the paper's reduction tree (Fig. 6,
+// log(m) phases) versus a flat single-phase weld of all shared scanlines.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/algorithm1.hpp"
+#include "data/synthetic.hpp"
+
+int main() {
+  using namespace psclip;
+  bench::header("Ablation — partial-polygon merge: reduction tree vs flat weld",
+                "paper Fig. 6 (Step 4)");
+
+  par::ThreadPool pool;
+  std::printf("%8s %10s | %12s %8s | %12s\n", "edges", "partials",
+              "tree (ms)", "phases", "flat (ms)");
+  for (int edges : {1000, 4000, 16000}) {
+    const auto pair = data::synthetic_pair(51, edges);
+    double times[2] = {0, 0};
+    core::Alg1Stats stats[2];
+    const core::MergeStrategy strategies[2] = {core::MergeStrategy::kTree,
+                                               core::MergeStrategy::kFlat};
+    for (int i = 0; i < 2; ++i) {
+      core::Alg1Options o;
+      o.merge = strategies[i];
+      times[i] = bench::time_median3([&] {
+        stats[i] = {};
+        auto r = core::scanbeam_clip(pair.subject, pair.clip,
+                                     geom::BoolOp::kUnion, pool, &stats[i],
+                                     o);
+        (void)r;
+      });
+    }
+    std::printf("%8d %10lld | %12.3f %8d | %12.3f\n", edges,
+                static_cast<long long>(stats[0].partial_polys),
+                stats[0].t_merge * 1e3, stats[0].merge_phases,
+                stats[1].t_merge * 1e3);
+    std::printf("%8s %10s | total %6.1fms %8s | total %5.1fms\n", "", "",
+                times[0] * 1e3, "", times[1] * 1e3);
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Ablation: Step 2 edge partitioning — the paper's cover-list segment
+// tree (two-phase count/report, §III-E) versus direct per-edge binning.
+// Both are output-sensitive in k'; the segment tree bounds the *per-item*
+// work by O(log m) while direct binning pays O(beams spanned).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/scanbeam.hpp"
+#include "data/synthetic.hpp"
+#include "geom/perturb.hpp"
+
+int main() {
+  using namespace psclip;
+  bench::header("Ablation — Step 2 partitioning: segment tree vs direct binning",
+                "paper §III-E Step 2");
+
+  par::ThreadPool pool;
+  std::printf("%8s %8s %10s | %14s %14s\n", "edges", "beams", "k'",
+              "segtree (ms)", "direct (ms)");
+  for (int edges : {1000, 4000, 16000, 64000}) {
+    auto pair = data::synthetic_pair(61, edges);
+    geom::PolygonSet s = geom::cleaned(pair.subject);
+    geom::PolygonSet c = geom::cleaned(pair.clip);
+    geom::remove_horizontals(s);
+    geom::remove_horizontals(c);
+    const seq::BoundTable bt = seq::build_bounds(s, c);
+
+    core::ScanbeamPartition part;
+    const double t_tree = bench::time_median3(
+        [&] { part = core::partition_scanbeams(pool, bt); });
+    const double t_direct = bench::time_median3(
+        [&] { auto p = core::partition_scanbeams_direct(pool, bt); (void)p; });
+    std::printf("%8zu %8zu %10lld | %14.3f %14.3f\n", bt.num_edges(),
+                part.num_beams(),
+                static_cast<long long>(part.k_prime(bt.num_edges())),
+                t_tree * 1e3, t_direct * 1e3);
+  }
+  return 0;
+}

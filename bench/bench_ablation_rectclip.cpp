@@ -1,0 +1,74 @@
+// Ablation: rectangle clipping method for Algorithm 2 Steps 4-5. The
+// paper states: "in steps 4 and 5, we used Greiner-Hormann since we found
+// it to be faster than GPC for rectangular clipping" — this bench
+// reproduces that comparison with our GH, Vatti (GPC stand-in) and
+// Sutherland-Hodgman.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "seq/rect_clip.hpp"
+
+namespace {
+
+using psclip::seq::RectClipMethod;
+
+void print_comparison() {
+  using namespace psclip;
+  bench::header("Ablation — rectangle clipping: GH vs Vatti vs SH",
+                "paper §IV (Steps 4-5 choice)");
+  std::printf("%8s | %10s %10s %10s   (ms per slab clip)\n", "edges", "GH",
+              "Vatti", "SH");
+  for (int edges : {1000, 4000, 16000}) {
+    const auto pair = data::synthetic_pair(71, edges);
+    const geom::BBox bb = geom::bounds(pair.subject);
+    const geom::BBox slab{bb.xmin - 1, bb.ymin + 0.25 * bb.height(),
+                          bb.xmax + 1, bb.ymin + 0.55 * bb.height()};
+    double t[3];
+    const RectClipMethod methods[3] = {RectClipMethod::kGreinerHormann,
+                                       RectClipMethod::kVatti,
+                                       RectClipMethod::kSutherlandHodgman};
+    for (int i = 0; i < 3; ++i) {
+      t[i] = bench::time_median3([&] {
+        auto r = seq::rect_clip(pair.subject, slab, methods[i]);
+        benchmark::DoNotOptimize(r);
+      });
+    }
+    std::printf("%8d | %10.3f %10.3f %10.3f\n", edges, t[0] * 1e3, t[1] * 1e3,
+                t[2] * 1e3);
+  }
+}
+
+void BM_RectClip(benchmark::State& state) {
+  using namespace psclip;
+  const auto pair =
+      data::synthetic_pair(71, static_cast<int>(state.range(0)));
+  const geom::BBox bb = geom::bounds(pair.subject);
+  const geom::BBox slab{bb.xmin - 1, bb.ymin + 0.25 * bb.height(),
+                        bb.xmax + 1, bb.ymin + 0.55 * bb.height()};
+  const auto method = static_cast<RectClipMethod>(state.range(1));
+  for (auto _ : state) {
+    auto r = seq::rect_clip(pair.subject, slab, method);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(seq::to_string(method));
+}
+BENCHMARK(BM_RectClip)
+    ->Args({2048, 0})
+    ->Args({2048, 1})
+    ->Args({2048, 2})
+    ->Args({8192, 0})
+    ->Args({8192, 1})
+    ->Args({8192, 2});
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_comparison();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Crossover study: sequential Vatti vs Algorithm 1 (scanbeam divide and
+// conquer) vs Algorithm 2 (slab partitioning) across input sizes — the
+// "which algorithm when" question a user of the library faces, and the
+// practical counterpart of the paper's cost comparison against [1].
+// Reported per engine: wall time on this host plus the decomposition's
+// ideal speedup where applicable.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/algorithm1.hpp"
+#include "data/synthetic.hpp"
+#include "mt/algorithm2.hpp"
+#include "seq/vatti.hpp"
+
+int main() {
+  using namespace psclip;
+  bench::header("Crossover — sequential vs Algorithm 1 vs Algorithm 2",
+                "library engine-selection guidance");
+
+  par::ThreadPool pool;
+  const unsigned slabs = bench::thread_ladder().back();
+  std::printf("%8s | %10s | %10s %9s %9s | %10s %12s\n", "edges", "seq (ms)",
+              "alg1 (ms)", "k", "k'", "alg2 (ms)", "alg2 ideal");
+  for (int edges : {500, 1000, 2000, 4000, 8000, 16000}) {
+    const auto pair = data::synthetic_pair(81, edges);
+
+    const double t_seq = bench::time_median3([&] {
+      auto r = seq::vatti_clip(pair.subject, pair.clip,
+                               geom::BoolOp::kIntersection);
+      (void)r;
+    });
+
+    core::Alg1Stats a1;
+    const double t_a1 = bench::time_median3([&] {
+      a1 = {};
+      auto r = core::scanbeam_clip(pair.subject, pair.clip,
+                                   geom::BoolOp::kIntersection, pool, &a1);
+      (void)r;
+    });
+
+    mt::Alg2Options o;
+    o.slabs = slabs;
+    const double t_a2 = bench::time_median3([&] {
+      auto r = mt::slab_clip(pair.subject, pair.clip,
+                             geom::BoolOp::kIntersection, pool, o);
+      (void)r;
+    });
+    // Serialized run for the decomposition metric.
+    par::ThreadPool serial(1);
+    mt::Alg2Stats st;
+    mt::slab_clip(pair.subject, pair.clip, geom::BoolOp::kIntersection,
+                  serial, o, &st);
+    double work = 0.0, mx = 0.0;
+    for (const auto& s : st.slabs) {
+      work += s.seconds;
+      mx = std::max(mx, s.seconds);
+    }
+    const double ideal = mx > 0.0 ? t_seq / mx : 1.0;
+
+    std::printf("%8d | %10.3f | %10.3f %9lld %9lld | %10.3f %11.2fx\n",
+                edges, t_seq * 1e3, t_a1 * 1e3,
+                static_cast<long long>(a1.intersections),
+                static_cast<long long>(a1.k_prime), t_a2 * 1e3, ideal);
+  }
+  std::printf(
+      "\nAlgorithm 1 pays the k' (virtual vertex) tax for beam "
+      "independence — the PRAM trade-off the paper analyses; Algorithm 2 "
+      "keeps sequential-level work per slab and is the practical engine, "
+      "exactly the paper's conclusion.\n");
+  return 0;
+}

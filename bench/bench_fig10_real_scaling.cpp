@@ -1,0 +1,70 @@
+// Fig. 10: scalability of intersection and union on the (simulated)
+// real-world datasets versus thread count. The paper finds the larger
+// datasets (3, 4) scale better than the smaller ones (1, 2).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/gis_sim.hpp"
+#include "mt/multiset.hpp"
+
+int main() {
+  using namespace psclip;
+  const double scale = bench::dataset_scale();
+  bench::header("Fig. 10 — scaling of INT/UNION on the GIS datasets",
+                "paper Fig. 10");
+  std::printf("dataset scale = %g\n", scale);
+
+  const auto d1 = data::make_dataset(1, scale);
+  const auto d2 = data::make_dataset(2, scale);
+  const auto d3 = data::make_dataset(3, scale);
+  const auto d4 = data::make_dataset(4, scale);
+
+  struct Job {
+    const char* name;
+    const geom::PolygonSet* a;
+    const geom::PolygonSet* b;
+    geom::BoolOp op;
+    // Union uses the paper's replicate-and-deduplicate scheme (its exact
+    // alternative, block closure, serializes on interleaved layers).
+    mt::MultisetAssign assign;
+  };
+  const Job jobs[] = {
+      {"Intersect(1,2)", &d1, &d2, geom::BoolOp::kIntersection,
+       mt::MultisetAssign::kAuto},
+      {"Union(1,2)", &d1, &d2, geom::BoolOp::kUnion,
+       mt::MultisetAssign::kReplicate},
+      {"Intersect(3,4)", &d3, &d4, geom::BoolOp::kIntersection,
+       mt::MultisetAssign::kAuto},
+      {"Union(3,4)", &d3, &d4, geom::BoolOp::kUnion,
+       mt::MultisetAssign::kReplicate},
+  };
+
+  for (const auto& job : jobs) {
+    std::printf("\n%s  (A: %zu polys/%zu edges, B: %zu polys/%zu edges)\n",
+                job.name, job.a->num_contours(), job.a->num_vertices(),
+                job.b->num_contours(), job.b->num_vertices());
+    std::printf("%8s %12s %10s %12s %12s %12s\n", "threads", "time (ms)",
+                "speedup", "ideal-spdup", "out polys", "imbalance");
+    double base = 0.0;
+    for (unsigned t : bench::thread_ladder()) {
+      par::ThreadPool pool(t);
+      mt::MultisetOptions o;
+      o.slabs = t;
+      o.assign = job.assign;
+      mt::Alg2Stats st;
+      geom::PolygonSet r;
+      const double sec = bench::time_median3(
+          [&] { r = mt::multiset_clip(*job.a, *job.b, job.op, pool, o, &st); });
+      // Decomposition metrics from a serialized run (see bench_fig8).
+      par::ThreadPool serial(1);
+      mt::multiset_clip(*job.a, *job.b, job.op, serial, o, &st);
+      if (base == 0.0) base = sec;
+      std::printf("%8u %12.3f %9.2fx %11.2fx %12lld %12.2f\n", t, sec * 1e3,
+                  base / sec, st.ideal_speedup(),
+                  static_cast<long long>(st.output_contours),
+                  st.load_imbalance());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Fig. 11: per-thread load for Intersect(1,2). The urban-areas layer is
+// heavily clustered, so equal-event-count slabs still receive very
+// different amounts of clipping work — the load imbalance that limits the
+// paper's Intersect(1,2) scaling to ~3.4x.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/gis_sim.hpp"
+#include "mt/multiset.hpp"
+
+int main() {
+  using namespace psclip;
+  const double scale = bench::dataset_scale();
+  bench::header("Fig. 11 — per-slab load for Intersect(1,2)",
+                "paper Fig. 11");
+
+  const auto d1 = data::make_dataset(1, scale);
+  const auto d2 = data::make_dataset(2, scale);
+
+  const unsigned slabs = 8;
+  // Serialized execution (one worker, 8 slabs): per-slab times are then
+  // true work measurements rather than oversubscription artifacts.
+  par::ThreadPool pool(1);
+  mt::MultisetOptions o;
+  o.slabs = slabs;
+  mt::Alg2Stats st;
+  mt::multiset_clip(d1, d2, geom::BoolOp::kIntersection, pool, o, &st);
+
+  std::printf("%6s %12s %14s %14s\n", "slab", "time (ms)", "input edges",
+              "out verts");
+  double total = 0.0;
+  for (std::size_t i = 0; i < st.slabs.size(); ++i) {
+    const auto& s = st.slabs[i];
+    std::printf("%6zu %12.3f %14lld %14lld\n", i, s.seconds * 1e3,
+                static_cast<long long>(s.input_edges),
+                static_cast<long long>(s.output_vertices));
+    total += s.seconds;
+  }
+  std::printf("\nload imbalance (max/mean): %.2f — 1.0 would be perfectly "
+              "balanced; the paper attributes Intersect(1,2)'s limited "
+              "3.4x speedup to exactly this skew.\n",
+              st.load_imbalance());
+  std::printf("sum of slab clip times: %.3f ms\n", total * 1e3);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 7: sequential clipping time versus polygon size. The paper
+// measures the GPC library and observes it is "relatively better at
+// clipping smaller polygons in comparison to larger polygons" — i.e.
+// super-linear growth — which motivates partitioning into slabs. We
+// measure our Vatti clipper (the GPC stand-in) the same way and report
+// time per edge to expose the same super-linear shape.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "geom/bool_op.hpp"
+#include "seq/vatti.hpp"
+
+namespace {
+
+void print_fig7() {
+  using namespace psclip;
+  bench::header("Fig. 7 — sequential clipper time vs polygon size",
+                "paper Fig. 7");
+  std::printf("%10s %12s %12s %12s %10s\n", "edges/poly", "time (ms)",
+              "us/edge", "crossings", "out verts");
+  double prev_per_edge = 0.0;
+  for (int edges : {1000, 2000, 4000, 8000, 16000, 32000}) {
+    const auto pair = data::synthetic_pair(11, edges);
+    seq::VattiStats st;
+    const double sec = bench::time_median3([&] {
+      st = {};
+      auto r = seq::vatti_clip(pair.subject, pair.clip,
+                               geom::BoolOp::kIntersection, &st);
+      benchmark::DoNotOptimize(r);
+    });
+    const double per_edge = sec * 1e6 / (2.0 * edges);
+    std::printf("%10d %12.3f %12.3f %12lld %10lld\n", edges, sec * 1e3,
+                per_edge, static_cast<long long>(st.intersections),
+                static_cast<long long>(st.output_vertices));
+    prev_per_edge = per_edge;
+  }
+  (void)prev_per_edge;
+  std::printf("\nrising us/edge = the super-linearity that motivates "
+              "Algorithm 2's partitioning\n");
+}
+
+void BM_VattiIntersection(benchmark::State& state) {
+  using namespace psclip;
+  const auto pair =
+      data::synthetic_pair(11, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto r = seq::vatti_clip(pair.subject, pair.clip,
+                             geom::BoolOp::kIntersection);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_VattiIntersection)->RangeMultiplier(2)->Range(512, 8192)
+    ->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_fig7();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig. 9: execution time of Algorithm 2's phases — partitioning
+// (Steps 4-5), clipping (Step 6) and merging (Step 8) — for two datasets
+// as the thread count grows. The paper observes clipping dominating and
+// partitioning growing slightly with more threads.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "mt/algorithm2.hpp"
+
+int main() {
+  using namespace psclip;
+  bench::header("Fig. 9 — Algorithm 2 phase breakdown (partition/clip/merge)",
+                "paper Fig. 9");
+
+  struct Ds {
+    const char* name;
+    int edges;
+  };
+  const Ds sets[] = {{"I (8k-edge pair)", 8000}, {"II (24k-edge pair)", 24000}};
+
+  for (const auto& ds : sets) {
+    const auto pair = data::synthetic_pair(31, ds.edges);
+    std::printf("\ndataset %s:\n", ds.name);
+    std::printf("%8s %14s %12s %12s %12s\n", "threads", "partition(ms)",
+                "clip(ms)", "merge(ms)", "total(ms)");
+    for (unsigned t : bench::thread_ladder()) {
+      // Phases are measured on serialized execution (one worker, t slabs):
+      // concurrent slabs on an oversubscribed host inflate each other's
+      // wall time and corrupt the attribution. The paper's Fig. 9 shows
+      // per-phase *work*, which this measures directly.
+      par::ThreadPool pool(1);
+      mt::Alg2Options o;
+      o.slabs = t;
+      mt::Alg2Stats st;
+      mt::slab_clip(pair.subject, pair.clip, geom::BoolOp::kIntersection,
+                    pool, o, &st);
+      std::printf("%8u %14.3f %12.3f %12.3f %12.3f\n", t,
+                  st.phases.partition * 1e3, st.phases.clip * 1e3,
+                  st.phases.merge * 1e3, st.phases.total() * 1e3);
+    }
+  }
+  return 0;
+}

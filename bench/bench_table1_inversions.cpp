@@ -1,0 +1,91 @@
+// Table I: merging of A_l = {5,6,7,9} and A_r = {1,2,3,4} in one internal
+// node of the extended (Cole's) mergesort, with the inversions marked for
+// reporting — plus micro-benchmarks of the inversion machinery itself.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <random>
+
+#include "bench_util.hpp"
+#include "parallel/inversions.hpp"
+
+namespace {
+
+void print_table1() {
+  using psclip::par::merge_with_inversions;
+  psclip::bench::header("Table I — extended-mergesort merge with inversion marking",
+                        "paper Table I");
+  const std::vector<std::int32_t> left{5, 6, 7, 9};
+  const std::vector<std::int32_t> right{1, 2, 3, 4};
+  const auto tr = merge_with_inversions(left, right);
+  std::printf("A_l = {5,6,7,9}   A_r = {1,2,3,4}\n");
+  std::printf("merged: ");
+  for (auto v : tr.merged) std::printf("%d ", v);
+  std::printf("\ninversions marked (%zu):", tr.inversions.size());
+  for (const auto& [a, b] : tr.inversions) std::printf(" (%d,%d)", a, b);
+  std::printf("\n");
+}
+
+std::vector<std::int32_t> random_perm(std::size_t n, std::uint64_t seed) {
+  std::vector<std::int32_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<std::int32_t>(i);
+  std::mt19937_64 rng(seed);
+  std::shuffle(v.begin(), v.end(), rng);
+  return v;
+}
+
+void BM_CountInversions(benchmark::State& state) {
+  const auto v = random_perm(static_cast<std::size_t>(state.range(0)), 7);
+  std::int64_t k = 0;
+  for (auto _ : state) {
+    k = psclip::par::count_inversions(v);
+    benchmark::DoNotOptimize(k);
+  }
+  state.counters["inversions"] = static_cast<double>(k);
+}
+BENCHMARK(BM_CountInversions)->Range(1 << 8, 1 << 16);
+
+void BM_ReportInversions(benchmark::State& state) {
+  // Nearly sorted input: output-sensitive report stays cheap even for
+  // large n (the paper's whole point about output sensitivity).
+  std::vector<std::int32_t> v(static_cast<std::size_t>(state.range(0)));
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int32_t>(i);
+  std::mt19937_64 rng(3);
+  for (int s = 0; s < state.range(1); ++s) {
+    const auto i = rng() % (v.size() - 1);
+    std::swap(v[i], v[i + 1]);
+  }
+  std::size_t pairs = 0;
+  for (auto _ : state) {
+    auto out = psclip::par::report_inversions(v);
+    pairs = out.size();
+    benchmark::DoNotOptimize(out);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+BENCHMARK(BM_ReportInversions)
+    ->Args({1 << 12, 16})
+    ->Args({1 << 12, 1024})
+    ->Args({1 << 16, 16})
+    ->Args({1 << 16, 1024});
+
+void BM_ReportInversionsParallel(benchmark::State& state) {
+  static psclip::par::ThreadPool pool;
+  const auto v = random_perm(static_cast<std::size_t>(state.range(0)), 11);
+  for (auto _ : state) {
+    auto out = psclip::par::report_inversions(pool, v);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_ReportInversionsParallel)->Range(1 << 10, 1 << 14);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

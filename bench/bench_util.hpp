@@ -1,0 +1,63 @@
+#pragma once
+
+// Shared helpers for the benchmark harness. Every bench binary regenerates
+// one table or figure of the paper (see DESIGN.md §4) and prints it in a
+// paper-style layout; micro-benchmarks additionally register
+// google-benchmark counters.
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "parallel/timing.hpp"
+
+namespace psclip::bench {
+
+/// Dataset scale factor for the Table III simulations. The paper's full
+/// sizes (millions of edges) are reproduced with PSCLIP_BENCH_SCALE=1;
+/// the default keeps every binary in laptop/CI territory.
+inline double dataset_scale() {
+  if (const char* s = std::getenv("PSCLIP_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 0.01;
+}
+
+/// Thread counts swept by the scaling figures (the paper sweeps 1..64 on
+/// its Opteron; we sweep what is plausible on the host but always include
+/// the full ladder so the harness output shape matches the paper's).
+inline std::vector<unsigned> thread_ladder() {
+  if (const char* s = std::getenv("PSCLIP_BENCH_THREADS")) {
+    std::vector<unsigned> out;
+    int v = std::atoi(s);
+    for (unsigned t = 1; t <= static_cast<unsigned>(v > 0 ? v : 8); t *= 2)
+      out.push_back(t);
+    return out;
+  }
+  return {1, 2, 4, 8};
+}
+
+/// Median-of-three wall time of `fn`, in seconds.
+inline double time_median3(const std::function<void()>& fn) {
+  double best[3];
+  for (double& b : best) {
+    par::WallTimer t;
+    fn();
+    b = t.seconds();
+  }
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  if (best[1] > best[2]) std::swap(best[1], best[2]);
+  if (best[0] > best[1]) std::swap(best[0], best[1]);
+  return best[1];
+}
+
+inline void header(const char* what, const char* paper_ref) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n(reproduces %s)\n", what, paper_ref);
+  std::printf("================================================================\n");
+}
+
+}  // namespace psclip::bench

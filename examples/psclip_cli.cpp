@@ -1,0 +1,112 @@
+// psclip_cli — clip two polygon files from the command line.
+//
+//   psclip_cli <op> <subject-file> <clip-file> [--engine=E] [--out=FMT]
+//
+//   op      : intersection | union | difference | xor
+//   files   : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
+//             the first non-space character ('{' = GeoJSON)
+//   --engine: auto | vatti | martinez | scanbeam | slab   (default auto)
+//   --out   : wkt | geojson | area                        (default wkt)
+//
+// Example:
+//   echo 'POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))' > a.wkt
+//   echo 'POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))' > b.wkt
+//   psclip_cli intersection a.wkt b.wkt --out=area
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "psclip.hpp"
+
+namespace {
+
+std::optional<psclip::geom::PolygonSet> load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    std::fprintf(stderr, "psclip: cannot open %s\n", path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  const auto first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) return std::nullopt;
+  const auto parsed = text[first] == '{'
+                          ? psclip::geom::from_geojson(text)
+                          : psclip::geom::from_wkt(text);
+  if (!parsed)
+    std::fprintf(stderr, "psclip: cannot parse %s\n", path.c_str());
+  return parsed;
+}
+
+std::optional<psclip::geom::BoolOp> parse_op(const std::string& s) {
+  using psclip::geom::BoolOp;
+  if (s == "intersection" || s == "int") return BoolOp::kIntersection;
+  if (s == "union") return BoolOp::kUnion;
+  if (s == "difference" || s == "diff") return BoolOp::kDifference;
+  if (s == "xor") return BoolOp::kXor;
+  return std::nullopt;
+}
+
+std::optional<psclip::Engine> parse_engine(const std::string& s) {
+  using psclip::Engine;
+  if (s == "auto") return Engine::kAuto;
+  if (s == "vatti") return Engine::kVatti;
+  if (s == "martinez") return Engine::kMartinez;
+  if (s == "scanbeam") return Engine::kScanbeam;
+  if (s == "slab") return Engine::kSlab;
+  return std::nullopt;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: psclip_cli <intersection|union|difference|xor> "
+               "<subject-file> <clip-file> [--engine=auto|vatti|martinez|"
+               "scanbeam|slab] [--out=wkt|geojson|area]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+
+  const auto op = parse_op(argv[1]);
+  if (!op) return usage();
+  const auto subject = load(argv[2]);
+  const auto clip_poly = load(argv[3]);
+  if (!subject || !clip_poly) return 1;
+
+  psclip::Engine engine = psclip::Engine::kAuto;
+  std::string out_fmt = "wkt";
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--engine=", 0) == 0) {
+      const auto e = parse_engine(arg.substr(9));
+      if (!e) return usage();
+      engine = *e;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out_fmt = arg.substr(6);
+    } else {
+      return usage();
+    }
+  }
+
+  const psclip::geom::PolygonSet result =
+      psclip::clip(*subject, *clip_poly, *op, engine);
+
+  if (out_fmt == "wkt") {
+    std::printf("%s\n", psclip::geom::to_wkt(result).c_str());
+  } else if (out_fmt == "geojson") {
+    std::printf("%s\n", psclip::geom::to_geojson(result).c_str());
+  } else if (out_fmt == "area") {
+    std::printf("%.17g\n", psclip::geom::signed_area(result));
+  } else {
+    return usage();
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Quickstart: clip two polygons with every operator, using both the
+// sequential Vatti clipper and the parallel Algorithm 1, and print the
+// results as WKT.
+//
+//   $ ./quickstart
+//
+// The subject is a concave chevron, the clip a self-intersecting bowtie —
+// the "arbitrary polygons" case the paper's algorithms are built for.
+
+#include <cstdio>
+
+#include "core/algorithm1.hpp"
+#include "geom/perturb.hpp"
+#include "geom/wkt.hpp"
+#include "seq/vatti.hpp"
+
+int main() {
+  using namespace psclip;
+
+  // Inputs can also be parsed from WKT:
+  const auto subject = geom::from_wkt(
+      "POLYGON ((0 0, 10 0.3, 10 8, 5 3, 0.2 8.4, 0 0))");
+  auto clip = geom::from_wkt(
+      "POLYGON ((2 1, 9 7, 9 1.4, 2 6.5, 2 1))");  // self-intersecting
+  if (!subject || !clip) {
+    std::fprintf(stderr, "WKT parse error\n");
+    return 1;
+  }
+
+  // These hand-picked coordinates hide an *exact* coincidence: the clip
+  // vertex (9,7) lies on the subject edge through (5,3) and (10,8). Like
+  // GPC, the sweep assumes general position; the documented remedy for
+  // data with exact vertex-on-edge contacts is a tiny deterministic
+  // jitter (horizontal edges are handled automatically).
+  geom::jitter(*clip, 1e-9, /*seed=*/42);
+
+  std::printf("subject: %s\n", geom::describe(*subject).c_str());
+  std::printf("clip   : %s\n\n", geom::describe(*clip).c_str());
+
+  par::ThreadPool pool;  // hardware concurrency
+  for (const geom::BoolOp op : geom::kAllOps) {
+    // Sequential scanline clipper (the library's GPC equivalent)...
+    seq::VattiStats st;
+    const geom::PolygonSet r_seq = seq::vatti_clip(*subject, *clip, op, &st);
+    // ...and the paper's parallel Algorithm 1 — identical region.
+    const geom::PolygonSet r_par =
+        core::scanbeam_clip(*subject, *clip, op, pool);
+
+    std::printf("%-5s area=%.6f (parallel: %.6f)  contours=%zu  k=%lld\n",
+                geom::to_string(op), geom::signed_area(r_seq),
+                geom::signed_area(r_par), r_seq.num_contours(),
+                static_cast<long long>(st.intersections));
+    std::printf("      %s\n", geom::to_wkt(r_seq).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+#include "core/algorithm1.hpp"
+
+#include <mutex>
+
+#include "core/beam_sweep.hpp"
+#include "core/scanbeam.hpp"
+#include "geom/perturb.hpp"
+#include "parallel/timing.hpp"
+
+namespace psclip::core {
+
+geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
+                               const geom::PolygonSet& clip, geom::BoolOp op,
+                               par::ThreadPool& pool, Alg1Stats* stats,
+                               const Alg1Options& opts) {
+  geom::PolygonSet s = geom::cleaned(subject);
+  geom::PolygonSet c = geom::cleaned(clip);
+  geom::remove_horizontals(s);
+  geom::remove_horizontals(c);
+  const seq::BoundTable bt = seq::build_bounds(s, c);
+
+  par::WallTimer timer;
+  const ScanbeamPartition part = opts.use_segment_tree
+                                     ? partition_scanbeams(pool, bt)
+                                     : partition_scanbeams_direct(pool, bt);
+  const double t_partition = timer.seconds();
+
+  const std::size_t m = part.num_beams();
+  timer.reset();
+
+  // Step 3: all scanbeams in parallel. Results land in per-beam slots, so
+  // no cross-beam synchronization is needed beyond the final collection.
+  std::vector<BeamResult> beams(m);
+  pool.parallel_for(
+      m,
+      [&](std::size_t b) {
+        const auto lo = static_cast<std::size_t>(part.offsets[b]);
+        const auto hi = static_cast<std::size_t>(part.offsets[b + 1]);
+        beams[b] = process_beam(
+            bt, std::span<const std::int32_t>(part.edge_ids).subspan(lo, hi - lo),
+            part.ys[b], part.ys[b + 1], op);
+      },
+      /*grain=*/1);
+  const double t_beams = timer.seconds();
+
+  timer.reset();
+  WeldArena arena;
+  std::int64_t k = 0, partials = 0;
+  for (const auto& br : beams) {
+    k += br.intersections;
+    partials += static_cast<std::int64_t>(br.rings.size());
+    for (const auto& r : br.rings) arena.add_ring(r);
+  }
+  int phases = 0;
+  if (opts.merge == MergeStrategy::kTree)
+    phases = arena.weld_tree(pool, part.ys);
+  else
+    arena.weld_flat(pool, part.ys);
+  geom::PolygonSet out = arena.extract();
+  const double t_merge = timer.seconds();
+
+  if (stats) {
+    stats->edges = static_cast<std::int64_t>(bt.num_edges());
+    stats->scanbeams = static_cast<std::int64_t>(m);
+    stats->k_prime = part.k_prime(bt.num_edges());
+    stats->intersections = k;
+    stats->partial_polys = partials;
+    stats->merge_phases = phases;
+    stats->t_sort_partition = t_partition;
+    stats->t_beams = t_beams;
+    stats->t_merge = t_merge;
+  }
+  return out;
+}
+
+}  // namespace psclip::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "core/merge.hpp"
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::core {
+
+/// Instrumentation for the paper's complexity quantities and per-stage
+/// timings (used by tests and by bench_alg1_stages).
+struct Alg1Stats {
+  std::int64_t edges = 0;          ///< n: bound edges from both inputs
+  std::int64_t scanbeams = 0;      ///< m
+  std::int64_t k_prime = 0;        ///< extra edge pieces from partitioning
+  std::int64_t intersections = 0;  ///< k: crossings over all beams
+  std::int64_t partial_polys = 0;  ///< partial rings before merging
+  int merge_phases = 0;            ///< log(m) phases for the tree strategy
+  double t_sort_partition = 0.0;   ///< Steps 1–2 seconds
+  double t_beams = 0.0;            ///< Step 3 seconds
+  double t_merge = 0.0;            ///< Step 4 seconds
+};
+
+/// Options for scanbeam_clip.
+struct Alg1Options {
+  MergeStrategy merge = MergeStrategy::kTree;
+  /// Use the segment tree for Step 2 (paper §III-E); false = direct
+  /// binning (ablation).
+  bool use_segment_tree = true;
+};
+
+/// The paper's Algorithm 1: output-sensitive multi-way divide-and-conquer
+/// polygon clipping.
+///
+///  Step 1  sort the event ordinates (parallel mergesort),
+///  Step 2  partition the edges into scanbeams (segment tree, two-phase
+///          count/report — the processor allocation is output-sensitive in
+///          k'),
+///  Step 3  process every scanbeam independently in parallel (Lemmas 1–4:
+///          local labeling, prefix-sum contributing test, intersections by
+///          inversion reporting, partial-polygon assembly),
+///  Step 4  merge partial polygons across beams (reduction tree, Fig. 6)
+///          and remove virtual vertices by array packing.
+///
+/// Produces the same region as seq::vatti_clip for all four operators,
+/// including self-intersecting inputs.
+geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
+                               const geom::PolygonSet& clip, geom::BoolOp op,
+                               par::ThreadPool& pool,
+                               Alg1Stats* stats = nullptr,
+                               const Alg1Options& opts = {});
+
+}  // namespace psclip::core

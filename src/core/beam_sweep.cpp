@@ -1,0 +1,216 @@
+#include "core/beam_sweep.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "geom/intersect.hpp"
+#include "parallel/inversions.hpp"
+#include "seq/out_poly.hpp"
+#include "seq/sweep_events.hpp"
+
+namespace psclip::core {
+namespace {
+
+using geom::Point;
+
+struct Entry : seq::SweepEntry {
+  double xb = 0.0, xt = 0.0;
+};
+
+double x_on(const seq::BoundEdge& e, double y) {
+  if (e.bot.y == y) return e.bot.x;
+  if (e.top.y == y) return e.top.x;
+  return geom::x_at_y(e.bot, e.top, y);
+}
+
+}  // namespace
+
+BeamResult process_beam(const seq::BoundTable& bt,
+                        std::span<const std::int32_t> edge_ids, double yb,
+                        double yt, geom::BoolOp op) {
+  BeamResult result;
+  if (edge_ids.size() < 2) return result;
+
+  auto edge = [&bt](const Entry& en) -> const seq::BoundEdge& {
+    return bt.edges[static_cast<std::size_t>(en.e)];
+  };
+  auto res = [op](bool s, bool c) { return geom::in_result(s, c, op); };
+
+  // --- Lemma 1: order edges on the lower scanline. ---
+  std::vector<Entry> ents(edge_ids.size());
+  for (std::size_t i = 0; i < edge_ids.size(); ++i) {
+    ents[i].e = edge_ids[i];
+    const auto& be = bt.edges[static_cast<std::size_t>(edge_ids[i])];
+    ents[i].xb = x_on(be, yb);
+    ents[i].xt = x_on(be, yt);
+  }
+  std::sort(ents.begin(), ents.end(), [&](const Entry& a, const Entry& b) {
+    if (a.xb != b.xb) return a.xb < b.xb;
+    return edge(a).dxdy < edge(b).dxdy;
+  });
+
+  // --- Lemma 2/3: parity prefix classifies contributing spans. ---
+  {
+    bool s = false, c = false;
+    for (auto& en : ents) {
+      en.left_s = s;
+      en.left_c = c;
+      s ^= !edge(en).is_clip;
+      c ^= edge(en).is_clip;
+    }
+  }
+
+  // --- Open partial polygons along the lower scanline: each interior
+  // stretch runs between two consecutive *contributing* edges (edges
+  // across which result membership flips); non-contributing edges inside
+  // an interior stretch are not boundary and own nothing. ---
+  seq::OutPolyPool pool;
+  {
+    Entry* open_left = nullptr;
+    for (auto& en : ents) {
+      const bool lhs = res(en.left_s, en.left_c);
+      const bool rhs = res(en.left_s ^ !edge(en).is_clip,
+                           en.left_c ^ edge(en).is_clip);
+      if (lhs == rhs) continue;  // not contributing
+      if (rhs) {
+        open_left = &en;  // interior opens to the right of this edge
+      } else if (open_left != nullptr) {
+        const Point pl{open_left->xb, yb};
+        const Point pr{en.xb, yb};
+        const std::int32_t id =
+            pool.create(pl, /*hole=*/false, open_left->e, en.e);
+        if (!(pr == pl)) pool.extend(id, en.e, pr);
+        open_left->poly = id;
+        en.poly = id;
+        open_left = nullptr;
+      }
+    }
+  }
+
+  // --- Lemma 4: crossings = inversions between lower and upper orders,
+  // reported by the extended-mergesort machinery. ---
+  {
+    // Rank of each entry in the upper-scanline order.
+    std::vector<std::int32_t> idx(ents.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+      idx[i] = static_cast<std::int32_t>(i);
+    std::stable_sort(idx.begin(), idx.end(),
+                     [&](std::int32_t a, std::int32_t b) {
+                       return ents[static_cast<std::size_t>(a)].xt <
+                              ents[static_cast<std::size_t>(b)].xt;
+                     });
+    std::vector<std::int32_t> rank(ents.size());
+    for (std::size_t r2 = 0; r2 < idx.size(); ++r2)
+      rank[static_cast<std::size_t>(idx[r2])] = static_cast<std::int32_t>(r2);
+
+    auto pairs = par::report_inversions(rank);
+    result.intersections = static_cast<std::int64_t>(pairs.size());
+
+    if (!pairs.empty()) {
+      struct Ev {
+        std::int32_t eu, ev;
+        Point p;
+      };
+      std::vector<Ev> events;
+      events.reserve(pairs.size());
+      for (const auto& [i, j] : pairs) {
+        const auto& eu = edge(ents[static_cast<std::size_t>(i)]);
+        const auto& ev = edge(ents[static_cast<std::size_t>(j)]);
+        events.push_back({ents[static_cast<std::size_t>(i)].e,
+                          ents[static_cast<std::size_t>(j)].e,
+                          geom::line_intersection(eu.bot, eu.top, ev.bot,
+                                                  ev.top)});
+      }
+      std::stable_sort(events.begin(), events.end(),
+                       [](const Ev& a, const Ev& b) { return a.p.y < b.p.y; });
+
+      std::unordered_map<std::int32_t, std::size_t> pos;
+      pos.reserve(ents.size() * 2);
+      for (std::size_t i = 0; i < ents.size(); ++i) pos[ents[i].e] = i;
+
+      std::vector<Ev> pending(std::move(events));
+      std::vector<Ev> deferred;
+      while (!pending.empty()) {
+        bool progress = false;
+        deferred.clear();
+        for (const Ev& ev : pending) {
+          std::size_t iu = pos[ev.eu];
+          std::size_t iv = pos[ev.ev];
+          if (iu > iv) std::swap(iu, iv);
+          if (iu + 1 == iv) {
+            seq::emit_crossing(pool, ents[iu], edge(ents[iu]).is_clip,
+                               ents[iv], edge(ents[iv]).is_clip, ev.p, op);
+            std::swap(ents[iu], ents[iv]);
+            pos[ents[iu].e] = iu;
+            pos[ents[iv].e] = iv;
+            progress = true;
+          } else {
+            deferred.push_back(ev);
+          }
+        }
+        pending.swap(deferred);
+        if (!progress && !pending.empty()) {
+          // Coincident-crossing tie (e.g. three nearly concurrent edges):
+          // force-process each remaining event as if adjacent and rebuild
+          // the parity flags wholesale, so partial contours stay attached
+          // and close.
+          for (const Ev& ev : pending) {
+            std::size_t iu = pos[ev.eu];
+            std::size_t iv = pos[ev.ev];
+            if (iu > iv) std::swap(iu, iv);
+            seq::emit_crossing(pool, ents[iu], edge(ents[iu]).is_clip,
+                               ents[iv], edge(ents[iv]).is_clip, ev.p, op);
+            std::swap(ents[iu], ents[iv]);
+            pos[ents[iu].e] = iu;
+            pos[ents[iv].e] = iv;
+            bool s = false, c = false;
+            for (auto& en : ents) {
+              en.left_s = s;
+              en.left_c = c;
+              s ^= !edge(en).is_clip;
+              c ^= edge(en).is_clip;
+            }
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  // --- Close partial polygons along the upper scanline, again pairing
+  // consecutive contributing edges. ---
+  {
+    Entry* open_left = nullptr;
+    for (auto& en : ents) {
+      const bool lhs = res(en.left_s, en.left_c);
+      const bool rhs = res(en.left_s ^ !edge(en).is_clip,
+                           en.left_c ^ edge(en).is_clip);
+      if (lhs == rhs) continue;
+      if (rhs) {
+        open_left = &en;
+      } else if (open_left != nullptr) {
+        Entry& l = *open_left;
+        open_left = nullptr;
+        if (l.poly < 0 || en.poly < 0) continue;  // degenerate-tie fallback
+        const Point pl{l.xt, yt};
+        const Point pr{en.xt, yt};
+        if (!(pl == pr)) pool.extend(l.poly, l.e, pl);
+        pool.close(l.poly, l.e, en.poly, en.e, pr);
+      }
+    }
+  }
+
+  // --- Harvest rings. The pool orients material rings counter-clockwise
+  // and holes clockwise. Holes arise when an exterior pocket opens at a
+  // crossing and closes at another crossing strictly inside the beam
+  // (pockets that reach a scanline merge into the material ring there);
+  // they carry no scanline-horizontal edges, so the merge phase passes
+  // them through and their negative signed area keeps even-odd accounting
+  // exact.
+  geom::PolygonSet raw = pool.harvest();
+  result.rings.reserve(raw.contours.size());
+  for (auto& c : raw.contours) result.rings.push_back(std::move(c));
+  return result;
+}
+
+}  // namespace psclip::core

@@ -1,0 +1,340 @@
+#include "core/merge.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+#include "geom/predicates.hpp"
+
+namespace psclip::core {
+
+const char* to_string(MergeStrategy s) {
+  switch (s) {
+    case MergeStrategy::kTree: return "tree";
+    case MergeStrategy::kFlat: return "flat";
+  }
+  return "?";
+}
+
+void WeldArena::add_ring(const geom::Contour& ring) {
+  const std::size_t n = ring.size();
+  if (n < 3) return;
+  const auto base = static_cast<std::int32_t>(pt_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    pt_.push_back(ring[i]);
+    next_.push_back(base + static_cast<std::int32_t>((i + 1) % n));
+    cancelled_.push_back(0);
+    twin_.push_back(-1);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point& a = ring[i];
+    const geom::Point& b = ring[(i + 1) % n];
+    if (a.y == b.y && a.x != b.x)
+      horiz_[a.y].push_back(base + static_cast<std::int32_t>(i));
+  }
+}
+
+WeldArena::ScanPlan WeldArena::plan_scanline(double y) const {
+  ScanPlan plan;
+  plan.y = y;
+  const auto it = horiz_.find(y);
+  if (it == horiz_.end()) return plan;
+  plan.slots.reserve(it->second.size());
+  for (const std::int32_t a : it->second) {
+    if (cancelled_[static_cast<std::size_t>(a)]) continue;
+    plan.slots.push_back(a);
+  }
+  if (plan.slots.size() < 2) {
+    plan.slots.clear();
+    return plan;
+  }
+  // Subdivide every horizontal edge at all endpoints present on the line,
+  // so coincident opposite pieces match exactly (the virtual-vertex
+  // coordinates come from identical formulas on both sides of a scanline
+  // and compare equal as doubles).
+  plan.xs.reserve(plan.slots.size() * 2);
+  for (const std::int32_t a : plan.slots) {
+    plan.xs.push_back(pt_[static_cast<std::size_t>(a)].x);
+    plan.xs.push_back(pt_[static_cast<std::size_t>(next_[a])].x);
+  }
+  std::sort(plan.xs.begin(), plan.xs.end());
+  plan.xs.erase(std::unique(plan.xs.begin(), plan.xs.end()), plan.xs.end());
+  // Count the chain slots the apply phase will create (the "count" half of
+  // the paper's count/allocate/report pattern).
+  for (const std::int32_t a : plan.slots) {
+    const double x1 = pt_[static_cast<std::size_t>(a)].x;
+    const double x2 = pt_[static_cast<std::size_t>(next_[a])].x;
+    const double lo = std::min(x1, x2), hi = std::max(x1, x2);
+    const std::size_t lo_idx = static_cast<std::size_t>(
+        std::lower_bound(plan.xs.begin(), plan.xs.end(), lo) -
+        plan.xs.begin());
+    const std::size_t hi_idx = static_cast<std::size_t>(
+        std::lower_bound(plan.xs.begin(), plan.xs.end(), hi) -
+        plan.xs.begin());
+    plan.new_slots += hi_idx - lo_idx - 1;
+  }
+  return plan;
+}
+
+void WeldArena::apply_scanline(const ScanPlan& plan) {
+  if (plan.slots.size() < 2) return;
+  const double y = plan.y;
+  const std::vector<double>& xs = plan.xs;
+
+  // For each elementary sub-interval [xs[k], xs[k+1]] remember the slot of
+  // the rightward and of the leftward sub-edge covering it.
+  std::unordered_map<std::size_t, std::int32_t> right_half, left_half;
+  std::vector<std::pair<std::int32_t, std::int32_t>> welds;  // (A, C)
+
+  auto register_subedge = [&](std::int32_t from, std::size_t key,
+                              bool rightward) {
+    auto& mine = rightward ? right_half : left_half;
+    auto& other = rightward ? left_half : right_half;
+    const auto match = other.find(key);
+    if (match == other.end()) {
+      mine[key] = from;
+      return;
+    }
+    const std::int32_t A = rightward ? from : match->second;  // rightward
+    const std::int32_t C = rightward ? match->second : from;  // leftward
+    welds.emplace_back(A, C);
+    other.erase(match);
+  };
+
+  // Chain slots are written into this scanline's preallocated range; when
+  // called sequentially (base == npos) they are appended instead.
+  std::size_t cursor = plan.base;
+  auto new_slot = [&](double x) -> std::int32_t {
+    if (plan.base == kAppend) {
+      const auto ns = static_cast<std::int32_t>(pt_.size());
+      pt_.push_back({x, y});
+      next_.push_back(-1);
+      cancelled_.push_back(0);
+      twin_.push_back(-1);
+      return ns;
+    }
+    const auto ns = static_cast<std::int32_t>(cursor++);
+    pt_[static_cast<std::size_t>(ns)] = {x, y};
+    cancelled_[static_cast<std::size_t>(ns)] = 0;
+    twin_[static_cast<std::size_t>(ns)] = -1;
+    return ns;
+  };
+
+  for (const std::int32_t a : plan.slots) {
+    const double x1 = pt_[static_cast<std::size_t>(a)].x;
+    const double x2 = pt_[static_cast<std::size_t>(next_[a])].x;
+    const bool rightward = x1 < x2;
+    const double lo = rightward ? x1 : x2;
+    const double hi = rightward ? x2 : x1;
+    const std::size_t lo_idx = static_cast<std::size_t>(
+        std::lower_bound(xs.begin(), xs.end(), lo) - xs.begin());
+    const std::size_t hi_idx = static_cast<std::size_t>(
+        std::lower_bound(xs.begin(), xs.end(), hi) - xs.begin());
+
+    if (hi_idx == lo_idx + 1) {
+      register_subedge(a, lo_idx, rightward);
+      continue;
+    }
+    // Split into hi_idx - lo_idx sub-edges by inserting chain slots.
+    std::int32_t cur = a;
+    const std::int32_t tail = next_[a];
+    if (rightward) {
+      for (std::size_t k = lo_idx + 1; k < hi_idx; ++k) {
+        const std::int32_t ns = new_slot(xs[k]);
+        next_[ns] = tail;
+        next_[cur] = ns;
+        register_subedge(cur, k - 1, true);
+        cur = ns;
+      }
+      register_subedge(cur, hi_idx - 1, true);
+    } else {
+      for (std::size_t k = hi_idx - 1; k > lo_idx; --k) {
+        const std::int32_t ns = new_slot(xs[k]);
+        next_[ns] = tail;
+        next_[cur] = ns;
+        register_subedge(cur, k, false);
+        cur = ns;
+      }
+      register_subedge(cur, lo_idx, false);
+    }
+  }
+
+  // Cancel each opposite pair A->B / C->D (pt[A]==pt[D], pt[B]==pt[C]).
+  // Instead of rewriting next_ (which is order-dependent when adjacent
+  // sub-edges also weld), mark the edge cancelled and record the twin
+  // continuation vertex: a traversal reaching A resumes from D, one
+  // reaching C resumes from B — resolved transitively at extraction.
+  for (const auto& [A, C] : welds) {
+    cancelled_[static_cast<std::size_t>(A)] = 1;
+    twin_[static_cast<std::size_t>(A)] = next_[C];  // D
+    cancelled_[static_cast<std::size_t>(C)] = 1;
+    twin_[static_cast<std::size_t>(C)] = next_[A];  // B
+  }
+}
+
+void WeldArena::weld_scanline(double y) {
+  ScanPlan plan = plan_scanline(y);
+  plan.base = kAppend;
+  apply_scanline(plan);
+}
+
+void WeldArena::weld_parallel(par::ThreadPool& pool,
+                              std::span<const std::size_t> boundary_idx,
+                              std::span<const double> ys) {
+  // Count / allocate / report (the same PRAM pattern as Step 2): plan all
+  // scanlines read-only in parallel, allocate every chain slot with one
+  // prefix sum and a single resize, then apply the welds in parallel —
+  // welds of distinct scanlines touch disjoint slots.
+  std::vector<ScanPlan> plans(boundary_idx.size());
+  pool.parallel_for(
+      boundary_idx.size(),
+      [&](std::size_t i) { plans[i] = plan_scanline(ys[boundary_idx[i]]); },
+      /*grain=*/4);
+  std::size_t base = pt_.size();
+  for (auto& plan : plans) {
+    plan.base = base;
+    base += plan.new_slots;
+  }
+  pt_.resize(base);
+  next_.resize(base, -1);
+  cancelled_.resize(base, 0);
+  twin_.resize(base, -1);
+  pool.parallel_for(
+      plans.size(), [&](std::size_t i) { apply_scanline(plans[i]); },
+      /*grain=*/4);
+}
+
+void WeldArena::weld_flat(par::ThreadPool& pool, std::span<const double> ys) {
+  if (ys.size() < 3) return;
+  std::vector<std::size_t> boundaries;
+  boundaries.reserve(ys.size() - 2);
+  for (std::size_t i = 1; i + 1 < ys.size(); ++i) boundaries.push_back(i);
+  weld_parallel(pool, boundaries, ys);
+}
+
+int WeldArena::weld_tree(par::ThreadPool& pool, std::span<const double> ys) {
+  if (ys.size() < 3) return 0;
+  const std::size_t m = ys.size() - 1;  // beams; interior boundaries 1..m-1
+  int phases = 0;
+  for (std::size_t width = 1; width < m; width *= 2) {
+    std::vector<std::size_t> boundaries;
+    for (std::size_t b = width; b < m; b += 2 * width) boundaries.push_back(b);
+    if (boundaries.empty()) break;
+    weld_parallel(pool, boundaries, ys);
+    ++phases;
+  }
+  return phases;
+}
+
+std::vector<std::tuple<double, double, double>> WeldArena::debug_unwelded()
+    const {
+  std::vector<std::tuple<double, double, double>> out;
+  for (const auto& [y, slots] : horiz_) {
+    for (const std::int32_t a : slots) {
+      if (cancelled_[static_cast<std::size_t>(a)]) continue;
+      const geom::Point& pa = pt_[static_cast<std::size_t>(a)];
+      const geom::Point& pb = pt_[static_cast<std::size_t>(next_[a])];
+      if (pa.y == y && pb.y == y && pa.x != pb.x)
+        out.emplace_back(y, pa.x, pb.x);
+    }
+  }
+  return out;
+}
+
+geom::PolygonSet WeldArena::extract(bool pack_virtuals) const {
+  geom::PolygonSet out;
+  std::vector<std::uint8_t> visited(pt_.size(), 0);
+
+  // Next live vertex after `x`, resolving cancelled edges through their
+  // twin continuations. Every slot the resolution passes through —
+  // including the final live slot whose outgoing edge we consume — is
+  // marked visited: its continuation now belongs to the current ring, and
+  // leaving it unvisited would let the outer loop re-trace the same arc
+  // as a spurious duplicate ring.
+  auto successor = [this, &visited](std::int32_t x) -> std::int32_t {
+    std::size_t guard = 0;
+    while (cancelled_[static_cast<std::size_t>(x)] &&
+           guard++ <= pt_.size()) {
+      x = twin_[static_cast<std::size_t>(x)];
+      visited[static_cast<std::size_t>(x)] = 1;
+    }
+    return next_[x];
+  };
+
+  for (std::size_t start = 0; start < pt_.size(); ++start) {
+    if (visited[start] || cancelled_[start]) continue;
+    geom::Contour ring;
+    std::int32_t cur = static_cast<std::int32_t>(start);
+    std::size_t guard = 0;
+    while (!visited[static_cast<std::size_t>(cur)] &&
+           guard++ <= pt_.size()) {
+      visited[static_cast<std::size_t>(cur)] = 1;
+      // Cancelled slots still contribute their coordinate: the boundary
+      // turns there (all slots of a twin chain share one coordinate, and
+      // unique() collapses the repeats).
+      ring.pts.push_back(pt_[static_cast<std::size_t>(cur)]);
+      cur = successor(cur);
+    }
+    auto last = std::unique(ring.pts.begin(), ring.pts.end());
+    ring.pts.erase(last, ring.pts.end());
+    while (ring.pts.size() > 1 && ring.pts.front() == ring.pts.back())
+      ring.pts.pop_back();
+    if (ring.pts.size() < 3) continue;
+
+    if (!pack_virtuals) {
+      ring.hole = geom::signed_area(ring) < 0.0;
+      out.contours.push_back(std::move(ring));
+      continue;
+    }
+    // Drop virtual (collinear) vertices — the paper's "array packing".
+    // Two traps to avoid: (1) crossing/virtual vertices can land within
+    // ~1e-15 of a real corner, and testing each against *raw* neighbours
+    // then drops both representatives, cutting the corner — so collapse
+    // near-duplicates first; (2) collinearity must be evaluated against
+    // the *effective* (already packed) neighbours, or chains of drops can
+    // bridge real turns.
+    auto near_dup = [](const geom::Point& a, const geom::Point& b) {
+      const double tol =
+          1e-12 * (1.0 + std::fabs(a.x) + std::fabs(a.y));
+      return std::fabs(a.x - b.x) <= tol && std::fabs(a.y - b.y) <= tol;
+    };
+    geom::Contour dedup;
+    for (const auto& v : ring.pts) {
+      if (!dedup.pts.empty() && near_dup(dedup.pts.back(), v)) continue;
+      dedup.pts.push_back(v);
+    }
+    while (dedup.pts.size() > 1 &&
+           near_dup(dedup.pts.front(), dedup.pts.back()))
+      dedup.pts.pop_back();
+
+    auto thin = [](const geom::Point& a, const geom::Point& v,
+                   const geom::Point& b) {
+      const double area2 = std::fabs(geom::cross(v - a, b - a));
+      const double scale = std::fabs(b.x - a.x) + std::fabs(b.y - a.y) +
+                           std::fabs(v.x - a.x) + std::fabs(v.y - a.y);
+      return area2 <= 1e-12 * scale * scale;
+    };
+    geom::Contour packed;
+    for (const auto& v : dedup.pts) {
+      while (packed.pts.size() >= 2 &&
+             thin(packed.pts[packed.pts.size() - 2], packed.pts.back(), v))
+        packed.pts.pop_back();
+      packed.pts.push_back(v);
+    }
+    // Wrap-around: the seam vertices also need the effective-neighbour test.
+    while (packed.pts.size() >= 3 &&
+           thin(packed.pts[packed.pts.size() - 2], packed.pts.back(),
+                packed.pts.front()))
+      packed.pts.pop_back();
+    while (packed.pts.size() >= 3 &&
+           thin(packed.pts.back(), packed.pts.front(), packed.pts[1]))
+      packed.pts.erase(packed.pts.begin());
+    if (packed.pts.size() >= 3) {
+      packed.hole = geom::signed_area(packed) < 0.0;
+      out.contours.push_back(std::move(packed));
+    }
+  }
+  return out;
+}
+
+}  // namespace psclip::core

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <tuple>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::core {
+
+/// How the partial polygons of the scanbeams are merged (Step 4, Fig. 6).
+enum class MergeStrategy {
+  kTree,  ///< the paper's reduction tree: log(m) phases, pairwise unions
+  kFlat,  ///< one phase welding every shared scanline (ablation variant)
+};
+
+const char* to_string(MergeStrategy s);
+
+/// Merges per-beam partial polygons into the final result by *welding*
+/// away the shared horizontal boundaries.
+///
+/// Every partial ring is counter-clockwise, so the top side of a beam
+/// piece runs right-to-left and the bottom side of the piece above it runs
+/// left-to-right over the same interval: after subdividing the horizontal
+/// edges on a scanline at all endpoints present there, every sub-edge
+/// appears exactly twice in opposite directions. Cancelling such a pair
+/// and re-linking the rings implements the paper's partial-polygon union;
+/// the virtual vertices left behind are removed during extraction (the
+/// paper's "array packing"). Welds of distinct scanlines touch disjoint
+/// slots, so the tree reduction runs its per-phase welds in parallel.
+class WeldArena {
+ public:
+  /// Add one counter-clockwise partial ring (first vertex not repeated).
+  void add_ring(const geom::Contour& ring);
+
+  /// Cancel opposite coincident horizontal sub-edges on scanline y
+  /// (sequential entry point).
+  void weld_scanline(double y);
+
+  /// Weld several scanlines in parallel using the PRAM count/allocate/
+  /// report pattern: read-only planning per scanline, one prefix-sum slot
+  /// allocation, then parallel application (welds of distinct scanlines
+  /// touch disjoint slots). `boundary_idx` indexes into `ys`.
+  void weld_parallel(par::ThreadPool& pool,
+                     std::span<const std::size_t> boundary_idx,
+                     std::span<const double> ys);
+
+  /// Flat strategy: weld the interior scanlines ys[1..m-1] in one parallel
+  /// phase.
+  void weld_flat(par::ThreadPool& pool, std::span<const double> ys);
+
+  /// Tree strategy (Fig. 6): phase h welds the boundaries that are odd
+  /// multiples of 2^h, in parallel within the phase. Returns the number
+  /// of phases executed.
+  int weld_tree(par::ThreadPool& pool, std::span<const double> ys);
+
+  /// Trace the remaining rings, drop virtual (collinear) vertices
+  /// (disable with pack_virtuals=false for diagnostics), set hole flags
+  /// from orientation (welded exteriors stay counter-clockwise, holes come
+  /// out clockwise).
+  [[nodiscard]] geom::PolygonSet extract(bool pack_virtuals = true) const;
+
+  [[nodiscard]] std::size_t num_slots() const { return pt_.size(); }
+
+  /// Diagnostics: horizontal edges on registered scanlines that remain
+  /// uncancelled after welding (tuples of y, x_from, x_to). A correct
+  /// weld of a beam tiling leaves none.
+  [[nodiscard]] std::vector<std::tuple<double, double, double>>
+  debug_unwelded() const;
+
+ private:
+  static constexpr std::size_t kAppend = static_cast<std::size_t>(-1);
+  struct ScanPlan {
+    double y = 0.0;
+    std::vector<std::int32_t> slots;  // live horizontal edges on the line
+    std::vector<double> xs;           // subdivision ordinates
+    std::size_t new_slots = 0;        // chain slots the apply phase creates
+    std::size_t base = kAppend;       // preallocated slot range start
+  };
+  [[nodiscard]] ScanPlan plan_scanline(double y) const;
+  void apply_scanline(const ScanPlan& plan);
+
+  std::vector<geom::Point> pt_;
+  std::vector<std::int32_t> next_;
+  std::vector<std::uint8_t> cancelled_;  ///< slot's outgoing edge welded away
+  std::vector<std::int32_t> twin_;       ///< continuation vertex if cancelled
+  /// scanline y -> slots whose outgoing edge is horizontal on that line
+  std::unordered_map<double, std::vector<std::int32_t>> horiz_;
+};
+
+}  // namespace psclip::core

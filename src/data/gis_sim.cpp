@@ -1,0 +1,203 @@
+#include "data/gis_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "data/rng.hpp"
+
+namespace psclip::data {
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+/// One wiggly, simple polygon with ~`nedges` edges whose lengths come out
+/// near `target_len` on average: a radial ring of radius
+/// nedges * target_len / tau with bounded radial noise.
+std::vector<geom::Point> wiggly_ring(Rng& rng, int nedges, double cx,
+                                     double cy, double target_len,
+                                     double len_sd) {
+  const int n = std::max(4, nedges);
+  const double r = static_cast<double>(n) * target_len / kTau;
+  // Radius follows a bounded random walk so that the per-edge radial jump
+  // is on the order of the requested edge-length spread (uncorrelated
+  // noise would make the jumps, not the chords, dominate edge length).
+  const double step_sd = 0.7 * std::min(len_sd, 1.5 * target_len);
+  std::vector<geom::Point> ring;
+  ring.reserve(static_cast<std::size_t>(n));
+  double rad = r;
+  for (int i = 0; i < n; ++i) {
+    const double a = kTau * i / n;
+    ring.push_back({cx + rad * std::cos(a), cy + rad * std::sin(a)});
+    rad = std::clamp(rad + step_sd * rng.gaussian(0, 1), 0.75 * r, 1.25 * r);
+    // Pull back toward the nominal radius near the end so the ring closes
+    // without a long seam edge.
+    if (i > (3 * n) / 4) rad += 0.25 * (r - rad);
+  }
+  return ring;
+}
+
+/// Disjoint polygons on a jittered grid with cell size tied to the ring
+/// radius, so layer density is independent of the polygon count (the box
+/// grows with sqrt(count) instead).
+geom::PolygonSet grid_layer(Rng& rng, double x0, double y0, int nx, int ny,
+                            double cell, int count, int edges_mean,
+                            double len_mean, double len_sd) {
+  geom::PolygonSet out;
+  out.contours.reserve(static_cast<std::size_t>(count));
+  int placed = 0;
+  for (int gy = 0; gy < ny && placed < count; ++gy) {
+    for (int gx = 0; gx < nx && placed < count; ++gx) {
+      const double cx =
+          x0 + (gx + 0.5) * cell + rng.uniform(-0.05, 0.05) * cell;
+      const double cy =
+          y0 + (gy + 0.5) * cell + rng.uniform(-0.05, 0.05) * cell;
+      const int ne =
+          std::max(4, static_cast<int>(edges_mean * rng.uniform(0.6, 1.4)));
+      // Radius tracks the edge count so edge lengths stay near the target;
+      // clamp into the cell (radius*1.25 + centre jitter must fit 0.5).
+      double len = len_mean;
+      const double want_r = ne * len / kTau;
+      const double max_r = 0.32 * cell;
+      if (want_r > max_r) len = max_r * kTau / ne;
+      out.add(wiggly_ring(rng, ne, cx, cy, len, len_sd));
+      ++placed;
+    }
+  }
+  return out;
+}
+
+struct Grid {
+  double x0, y0, cell;
+  int nx, ny;
+};
+
+/// Grid for `count` polygons of ring radius `ring_r`, centred at (cx, cy).
+Grid layout(double cx, double cy, int count, double ring_r,
+            double spacing = 2.6) {
+  Grid g;
+  g.cell = spacing * std::max(ring_r, 1e-9);
+  g.nx = std::max(1, static_cast<int>(std::ceil(
+                         std::sqrt(static_cast<double>(count) * 1.4))));
+  g.ny = std::max(1, (count + g.nx - 1) / g.nx);
+  g.x0 = cx - 0.5 * g.nx * g.cell;
+  g.y0 = cy - 0.5 * g.ny * g.cell;
+  return g;
+}
+
+}  // namespace
+
+const std::array<DatasetSpec, 4>& table3_specs() {
+  static const std::array<DatasetSpec, 4> specs = {{
+      {"ne_10m_urban_areas", 11878, 1153348, 0.00415, 0.0101, "clustered"},
+      {"ne_10m_states_provinces", 4647, 1332830, 0.0282, 0.0546, "tiling"},
+      {"GML_data_1", 101860, 4488080, 0.0020, 0.0040, "parcels"},
+      {"GML_data_2", 128682, 6262858, 0.0018, 0.0036, "parcels"},
+  }};
+  return specs;
+}
+
+geom::PolygonSet make_dataset(int index, double scale) {
+  const DatasetSpec& spec =
+      table3_specs().at(static_cast<std::size_t>(std::clamp(index, 1, 4) - 1));
+  const int polys =
+      std::max(4, static_cast<int>(std::llround(spec.polys * scale)));
+  const int edges_per =
+      std::max(4, static_cast<int>(spec.edges / std::max(1, spec.polys)));
+  const double ring_r = edges_per * spec.mean_edge_len / kTau;
+  Rng rng(0xD5EA5EULL * static_cast<std::uint64_t>(index) + 17);
+
+  switch (index) {
+    case 1: {
+      // Urban areas: heavy clustering inside the provinces' region
+      // (dataset 2 is laid out around the same centre, so Intersect(1,2)
+      // crosses province boundaries everywhere).
+      geom::PolygonSet out;
+      const int clusters = std::max(1, polys / 60);
+      const int per_cluster = (polys + clusters - 1) / clusters;
+      // The provinces' region radius, to scatter clusters inside it.
+      const DatasetSpec& prov = table3_specs()[1];
+      const int prov_polys =
+          std::max(4, static_cast<int>(std::llround(prov.polys * scale)));
+      const double prov_ring =
+          (prov.edges / prov.polys) * prov.mean_edge_len / kTau;
+      const Grid pg = layout(0.0, 0.0, prov_polys, prov_ring, 2.4);
+      const double span_x = pg.nx * pg.cell, span_y = pg.ny * pg.cell;
+      // Clusters sit on a coarse meta-grid (jittered) so clusters never
+      // overlap each other and the layer stays disjoint.
+      const double cluster_extent =
+          std::ceil(std::sqrt(per_cluster * 1.4)) * 2.8 * ring_r;
+      const int meta = std::max(
+          1, static_cast<int>(std::ceil(std::sqrt(double(clusters)))));
+      const double meta_cell = std::max(1.3 * cluster_extent,
+                                        std::max(span_x, span_y) / meta);
+      for (int c = 0; c < clusters; ++c) {
+        const int mx = c % meta, my = c / meta;
+        const double ccx = (mx - 0.5 * (meta - 1)) * meta_cell +
+                           rng.uniform(-0.1, 0.1) * meta_cell;
+        const double ccy = (my - 0.5 * (meta - 1)) * meta_cell +
+                           rng.uniform(-0.1, 0.1) * meta_cell;
+        const Grid g = layout(ccx, ccy, per_cluster, ring_r, 2.8);
+        auto part = grid_layer(rng, g.x0, g.y0, g.nx, g.ny, g.cell,
+                               per_cluster, edges_per, spec.mean_edge_len,
+                               spec.sd_edge_len);
+        for (auto& ct : part.contours) out.contours.push_back(std::move(ct));
+        if (static_cast<int>(out.num_contours()) >= polys) break;
+      }
+      return out;
+    }
+    case 2: {
+      // States/provinces: large wiggly polygons nearly tiling their region.
+      const Grid g = layout(0.0, 0.0, polys, ring_r, 2.4);
+      return grid_layer(rng, g.x0, g.y0, g.nx, g.ny, g.cell, polys,
+                        edges_per, spec.mean_edge_len, spec.sd_edge_len);
+    }
+    case 3:
+    case 4: {
+      // Telecom parcel layers over one metro region. Dataset 4 reuses
+      // dataset 3's grid geometry shifted by half a cell, so the two
+      // layers' polygons interleave and Intersect(3,4) is intersection
+      // heavy at any scale.
+      const DatasetSpec& base = table3_specs()[2];
+      const int base_polys =
+          std::max(4, static_cast<int>(std::llround(base.polys * scale)));
+      const double base_ring =
+          (base.edges / base.polys) * base.mean_edge_len / kTau;
+      Grid g = layout(0.0, 0.0, base_polys, base_ring, 2.0);
+      if (index == 4) {
+        g.x0 += 0.5 * g.cell;
+        g.y0 += 0.5 * g.cell;
+        // More polygons than dataset 3: extend the grid.
+        g.ny = std::max(1, (polys + g.nx - 1) / g.nx);
+      }
+      return grid_layer(rng, g.x0, g.y0, g.nx, g.ny, g.cell, polys,
+                        edges_per, spec.mean_edge_len, spec.sd_edge_len);
+    }
+    default:
+      return {};
+  }
+}
+
+LayerStats measure(const geom::PolygonSet& layer) {
+  LayerStats st;
+  st.polys = layer.num_contours();
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto& c : layer.contours) {
+    const std::size_t n = c.size();
+    st.edges += n;
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+      const double len = geom::distance(c[j], c[i]);
+      sum += len;
+      sum2 += len * len;
+    }
+  }
+  if (st.edges > 0) {
+    st.mean_edge_len = sum / static_cast<double>(st.edges);
+    const double var = sum2 / static_cast<double>(st.edges) -
+                       st.mean_edge_len * st.mean_edge_len;
+    st.sd_edge_len = var > 0.0 ? std::sqrt(var) : 0.0;
+  }
+  return st;
+}
+
+}  // namespace psclip::data

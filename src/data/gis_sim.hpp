@@ -1,0 +1,52 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::data {
+
+/// Target statistics of the paper's four real-world datasets (Table III
+/// plus the edge-length statistics quoted in §V-B). The GML telecom
+/// datasets publish no edge-length statistics; values chosen are typical
+/// of parcel/coverage data at that polygon density.
+struct DatasetSpec {
+  const char* name;
+  int polys;
+  std::int64_t edges;
+  double mean_edge_len;
+  double sd_edge_len;
+  const char* flavor;  ///< generator family: "clustered", "tiling", "parcels"
+};
+
+/// The Table III inventory.
+const std::array<DatasetSpec, 4>& table3_specs();
+
+/// Build the simulated counterpart of dataset `index` (1-based as in
+/// Table III). `scale` shrinks polygon count (and thus edge count)
+/// proportionally so the full pipeline stays laptop-friendly; scale=1
+/// reproduces the paper's sizes. Deterministic in (index, scale).
+///
+/// Substitution note (DESIGN.md §3): the paper reads Natural Earth
+/// shapefiles and GML telecom data. The simulator reproduces what the
+/// algorithms are sensitive to — polygon count, edges per polygon,
+/// edge-length distribution and spatial layout (clustered urban areas,
+/// tiling provinces, dense parcel grids) — with polygons that are disjoint
+/// within a layer, as GIS layers are. Datasets 1/2 overlap like urban
+/// areas inside states; datasets 3/4 are two offset parcel layers over
+/// the same metro region, so Intersect(3,4) is edge-intersection heavy.
+geom::PolygonSet make_dataset(int index, double scale = 1.0);
+
+/// Measured statistics of a generated (or any) polygon layer, for the
+/// Table III reproduction.
+struct LayerStats {
+  std::size_t polys = 0;
+  std::size_t edges = 0;
+  double mean_edge_len = 0.0;
+  double sd_edge_len = 0.0;
+};
+LayerStats measure(const geom::PolygonSet& layer);
+
+}  // namespace psclip::data

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+
+namespace psclip::data {
+
+/// Small deterministic generator (SplitMix64) so that every dataset in the
+/// benchmark harness is reproducible from its seed across platforms —
+/// std::mt19937 distributions are not guaranteed identical across standard
+/// library implementations.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed * 0x9e3779b97f4a7c15ULL + 1) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * unit(); }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Normal-ish sample (sum of uniforms; adequate for edge-length
+  /// distributions, avoids libm differences).
+  double gaussian(double mean, double sigma) {
+    double s = 0.0;
+    for (int i = 0; i < 12; ++i) s += unit();
+    return mean + sigma * (s - 6.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace psclip::data

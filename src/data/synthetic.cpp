@@ -1,0 +1,119 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "data/rng.hpp"
+
+namespace psclip::data {
+namespace {
+
+constexpr double kTau = 2.0 * std::numbers::pi;
+
+std::vector<geom::Point> star_ring(Rng& rng, int n, double cx, double cy,
+                                   double r) {
+  std::vector<geom::Point> ring;
+  ring.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const double a = kTau * i / n + rng.uniform(0.0, 0.9 * kTau / n);
+    const double rad = r * rng.uniform(0.3, 1.0);
+    ring.push_back({cx + rad * std::cos(a), cy + rad * std::sin(a)});
+  }
+  return ring;
+}
+
+}  // namespace
+
+geom::PolygonSet random_simple(std::uint64_t seed, int n, double cx,
+                               double cy, double r) {
+  Rng rng(seed);
+  return geom::make_polygon(star_ring(rng, n, cx, cy, r));
+}
+
+geom::PolygonSet random_convex(std::uint64_t seed, int n, double cx,
+                               double cy, double r) {
+  Rng rng(seed);
+  std::vector<geom::Point> ring;
+  ring.reserve(static_cast<std::size_t>(n));
+  // Vertices on a circle with slightly jittered radius stay convex as long
+  // as the jitter is small relative to the angular step.
+  const double jitter = 0.5 / static_cast<double>(n);
+  for (int i = 0; i < n; ++i) {
+    const double a = kTau * i / n;
+    const double rad = r * (1.0 - rng.uniform(0.0, jitter));
+    ring.push_back({cx + rad * std::cos(a), cy + rad * std::sin(a)});
+  }
+  return geom::make_polygon(std::move(ring));
+}
+
+geom::PolygonSet random_blob(std::uint64_t seed, int n, double cx,
+                             double cy, double r) {
+  Rng rng(seed);
+  std::vector<geom::Point> ring;
+  ring.reserve(static_cast<std::size_t>(n));
+  double rad = r;
+  for (int i = 0; i < n; ++i) {
+    const double a = kTau * i / n;
+    ring.push_back({cx + rad * std::cos(a), cy + rad * std::sin(a)});
+    rad = std::clamp(rad + 0.03 * r * rng.gaussian(0, 1), 0.7 * r, 1.3 * r);
+    if (i > (3 * n) / 4) rad += 0.2 * (r - rad);  // close smoothly
+  }
+  return geom::make_polygon(std::move(ring));
+}
+
+geom::PolygonSet random_self_intersecting(std::uint64_t seed, int n,
+                                          double cx, double cy, double r) {
+  Rng rng(seed);
+  auto ring = star_ring(rng, n, cx, cy, r);
+  for (int s = 0; s < n / 4 + 1; ++s) {
+    const auto i = static_cast<std::size_t>(rng.index(ring.size()));
+    const auto j = static_cast<std::size_t>(rng.index(ring.size()));
+    std::swap(ring[i], ring[j]);
+  }
+  geom::PolygonSet p;
+  p.add(std::move(ring));
+  return p;
+}
+
+geom::PolygonSet star_polygram(int points, int step, double cx, double cy,
+                               double r) {
+  std::vector<geom::Point> ring;
+  ring.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double a = kTau * ((i * step) % points) / points + 0.3;
+    ring.push_back({cx + r * std::cos(a), cy + r * std::sin(a)});
+  }
+  return geom::make_polygon(std::move(ring));
+}
+
+SyntheticPair synthetic_pair(std::uint64_t seed, int edges) {
+  SyntheticPair pair;
+  pair.subject = random_blob(seed * 2 + 1, edges, 0.0, 0.0, 100.0);
+  pair.clip = random_blob(seed * 2 + 2, edges, 35.0, -20.0, 90.0);
+  return pair;
+}
+
+geom::PolygonSet polygon_field(std::uint64_t seed, int count, double world,
+                               int vertices) {
+  Rng rng(seed);
+  geom::PolygonSet out;
+  const int side = std::max(1, static_cast<int>(std::ceil(std::sqrt(
+                                    static_cast<double>(count)))));
+  const double cell = world / side;
+  int placed = 0;
+  for (int gy = 0; gy < side && placed < count; ++gy) {
+    for (int gx = 0; gx < side && placed < count; ++gx) {
+      const double cx = (gx + 0.5) * cell + rng.uniform(-0.1, 0.1) * cell;
+      const double cy = (gy + 0.5) * cell + rng.uniform(-0.1, 0.1) * cell;
+      // Radius < 0.4 * cell keeps neighbours disjoint even with jitter.
+      const double r = cell * rng.uniform(0.15, 0.38);
+      auto ring = star_ring(rng, vertices, cx, cy, r);
+      out.add(std::move(ring));
+      ++placed;
+    }
+  }
+  return out;
+}
+
+}  // namespace psclip::data

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::data {
+
+/// Seeded synthetic polygon generators — the counterpart of the paper's
+/// "small test program to produce two polygons ... with different number
+/// of edges" (§V-A). All generators are deterministic in the seed.
+
+/// Star-shaped (hence simple) polygon with `n` vertices around
+/// (cx, cy): radii jittered in [0.3r, r], angles jittered within their
+/// sector. Arbitrary concave but never self-intersecting.
+geom::PolygonSet random_simple(std::uint64_t seed, int n, double cx,
+                               double cy, double r);
+
+/// Convex polygon with `n` vertices on a jittered circle (sorted angles).
+geom::PolygonSet random_convex(std::uint64_t seed, int n, double cx,
+                               double cy, double r);
+
+/// Smooth "blob": radius follows a bounded random walk around r, giving a
+/// realistic wiggly boundary whose crossings with another blob grow
+/// linearly (not quadratically) with the edge count — the profile used by
+/// the scalability workloads.
+geom::PolygonSet random_blob(std::uint64_t seed, int n, double cx, double cy,
+                             double r);
+
+/// Self-intersecting polygon: a random_simple ring with a fraction of
+/// vertex positions swapped (the paper's "arbitrary polygons" include
+/// self-intersecting ones; §I, §III).
+geom::PolygonSet random_self_intersecting(std::uint64_t seed, int n,
+                                          double cx, double cy, double r);
+
+/// Star polygram (e.g. pentagram for points=5, step=2): the classic
+/// heavily self-intersecting test shape.
+geom::PolygonSet star_polygram(int points, int step, double cx, double cy,
+                               double r);
+
+/// A pair of large overlapping polygons with ~`edges` edges each, offset
+/// so that the overlap region is substantial — the workload for the
+/// synthetic scalability experiments (Figs. 7–9).
+struct SyntheticPair {
+  geom::PolygonSet subject, clip;
+};
+SyntheticPair synthetic_pair(std::uint64_t seed, int edges);
+
+/// Field of `count` disjoint simple polygons placed on a jittered grid
+/// over [0, world]^2 — a stand-in for a GIS polygon layer. `vertices` per
+/// polygon (approximate).
+geom::PolygonSet polygon_field(std::uint64_t seed, int count, double world,
+                               int vertices);
+
+}  // namespace psclip::data

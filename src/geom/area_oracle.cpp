@@ -1,0 +1,123 @@
+#include "geom/area_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/intersect.hpp"
+
+namespace psclip::geom {
+namespace {
+
+struct TaggedEdge {
+  Point lo, hi;   // lo.y < hi.y (horizontal edges are skipped: zero area)
+  bool from_clip; // false = subject, true = clip
+};
+
+std::vector<TaggedEdge> collect_edges(const PolygonSet& p, bool from_clip,
+                                      std::vector<double>& ys) {
+  std::vector<TaggedEdge> edges;
+  for (const auto& c : p.contours) {
+    const std::size_t n = c.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+      const Point& a = c[j];
+      const Point& b = c[i];
+      ys.push_back(a.y);
+      if (a.y == b.y) continue;  // horizontal: no area contribution
+      TaggedEdge e;
+      e.lo = a.y < b.y ? a : b;
+      e.hi = a.y < b.y ? b : a;
+      e.from_clip = from_clip;
+      edges.push_back(e);
+    }
+  }
+  return edges;
+}
+
+double sweep_area(const std::vector<TaggedEdge>& edges, std::vector<double> ys,
+                  BoolOp op, bool single_input) {
+  // Split scanbeams at every pairwise intersection so that within a beam
+  // edges are linearly ordered (no crossings inside a beam).
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    for (std::size_t j = i + 1; j < edges.size(); ++j) {
+      const auto xi = segment_intersection(edges[i].lo, edges[i].hi,
+                                           edges[j].lo, edges[j].hi);
+      if (xi.relation == SegmentRelation::kProper ||
+          xi.relation == SegmentRelation::kTouch) {
+        ys.push_back(xi.point.y);
+      } else if (xi.relation == SegmentRelation::kOverlap) {
+        ys.push_back(xi.point.y);
+        ys.push_back(xi.point2.y);
+      }
+    }
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  struct Crossing {
+    double x_lo, x_hi;  // x at beam bottom / top
+    bool from_clip;
+  };
+
+  double total = 0.0;
+  std::vector<Crossing> xs;
+  for (std::size_t b = 0; b + 1 < ys.size(); ++b) {
+    const double y0 = ys[b], y1 = ys[b + 1];
+    if (!(y1 > y0)) continue;
+    const double ymid = 0.5 * (y0 + y1);
+    xs.clear();
+    for (const auto& e : edges) {
+      if (e.lo.y <= y0 && e.hi.y >= y1) {
+        xs.push_back({x_at_y(e.lo, e.hi, y0), x_at_y(e.lo, e.hi, y1),
+                      e.from_clip});
+      }
+    }
+    std::sort(xs.begin(), xs.end(), [ymid](const Crossing& a,
+                                           const Crossing& c) {
+      return 0.5 * (a.x_lo + a.x_hi) < 0.5 * (c.x_lo + c.x_hi);
+    });
+    bool in_s = false, in_c = false;
+    for (std::size_t i = 0; i + 1 <= xs.size(); ++i) {
+      if (xs[i].from_clip) in_c = !in_c;
+      else in_s = !in_s;
+      const bool inside =
+          single_input ? in_s : in_result(in_s, in_c, op);
+      if (inside && i + 1 < xs.size()) {
+        const double w0 = xs[i + 1].x_lo - xs[i].x_lo;
+        const double w1 = xs[i + 1].x_hi - xs[i].x_hi;
+        total += 0.5 * (w0 + w1) * (y1 - y0);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace
+
+const char* to_string(BoolOp op) {
+  switch (op) {
+    case BoolOp::kIntersection: return "INT";
+    case BoolOp::kUnion: return "UNION";
+    case BoolOp::kDifference: return "DIFF";
+    case BoolOp::kXor: return "XOR";
+  }
+  return "?";
+}
+
+double boolean_area_oracle(const PolygonSet& subject, const PolygonSet& clip,
+                           BoolOp op) {
+  std::vector<double> ys;
+  auto edges = collect_edges(subject, false, ys);
+  auto clip_edges = collect_edges(clip, true, ys);
+  edges.insert(edges.end(), clip_edges.begin(), clip_edges.end());
+  return sweep_area(edges, std::move(ys), op, /*single_input=*/false);
+}
+
+double even_odd_area(const PolygonSet& p) {
+  std::vector<double> ys;
+  auto edges = collect_edges(p, false, ys);
+  return sweep_area(edges, std::move(ys), BoolOp::kUnion,
+                    /*single_input=*/true);
+}
+
+}  // namespace psclip::geom

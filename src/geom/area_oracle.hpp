@@ -1,0 +1,20 @@
+#pragma once
+
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Reference implementation: the exact area of `subject op clip` under the
+/// even-odd fill rule, computed by trapezoid decomposition WITHOUT building
+/// any output polygon. O((n + k) * n) time — intended as a test/bench
+/// oracle that is completely independent of every clipper in src/seq and
+/// src/core, not for production use.
+double boolean_area_oracle(const PolygonSet& subject, const PolygonSet& clip,
+                           BoolOp op);
+
+/// Even-odd area of a single (possibly self-intersecting) polygon set,
+/// via the same trapezoid decomposition.
+double even_odd_area(const PolygonSet& p);
+
+}  // namespace psclip::geom

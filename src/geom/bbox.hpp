@@ -1,0 +1,58 @@
+#pragma once
+
+#include <algorithm>
+#include <limits>
+
+#include "geom/point.hpp"
+
+namespace psclip::geom {
+
+/// Axis-aligned bounding box ("minimum bounding rectangle" in the paper,
+/// represented by its bottom-left and top-right corners as in §IV).
+struct BBox {
+  double xmin = std::numeric_limits<double>::infinity();
+  double ymin = std::numeric_limits<double>::infinity();
+  double xmax = -std::numeric_limits<double>::infinity();
+  double ymax = -std::numeric_limits<double>::infinity();
+
+  /// True if no point has ever been added.
+  [[nodiscard]] bool empty() const { return xmin > xmax || ymin > ymax; }
+
+  void expand(const Point& p) {
+    xmin = std::min(xmin, p.x);
+    ymin = std::min(ymin, p.y);
+    xmax = std::max(xmax, p.x);
+    ymax = std::max(ymax, p.y);
+  }
+
+  void expand(const BBox& o) {
+    xmin = std::min(xmin, o.xmin);
+    ymin = std::min(ymin, o.ymin);
+    xmax = std::max(xmax, o.xmax);
+    ymax = std::max(ymax, o.ymax);
+  }
+
+  [[nodiscard]] double width() const { return xmax - xmin; }
+  [[nodiscard]] double height() const { return ymax - ymin; }
+
+  [[nodiscard]] bool contains(const Point& p) const {
+    return p.x >= xmin && p.x <= xmax && p.y >= ymin && p.y <= ymax;
+  }
+
+  /// Closed-interval overlap test (touching boxes count as overlapping).
+  [[nodiscard]] bool overlaps(const BBox& o) const {
+    return xmin <= o.xmax && o.xmin <= xmax && ymin <= o.ymax && o.ymin <= ymax;
+  }
+
+  /// Overlap in the y-range only, used by slab assignment in Algorithm 2.
+  [[nodiscard]] bool overlaps_y(double lo, double hi) const {
+    return ymin <= hi && lo <= ymax;
+  }
+
+  friend bool operator==(const BBox& a, const BBox& b) {
+    return a.xmin == b.xmin && a.ymin == b.ymin && a.xmax == b.xmax &&
+           a.ymax == b.ymax;
+  }
+};
+
+}  // namespace psclip::geom

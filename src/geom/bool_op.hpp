@@ -1,0 +1,34 @@
+#pragma once
+
+namespace psclip::geom {
+
+/// Boolean operators supported by all clippers in this library
+/// (the paper's op ∈ {∩, ∪, −}; XOR is the natural fourth).
+enum class BoolOp {
+  kIntersection,
+  kUnion,
+  kDifference,  ///< subject minus clip (A \ B)
+  kXor,
+};
+
+/// Short human-readable operator name ("INT", "UNION", ...).
+const char* to_string(BoolOp op);
+
+/// Membership of a point in the boolean result given membership in each
+/// input (even-odd region semantics). Every vertex-emission decision in the
+/// clippers reduces to evaluating this on the sectors around an event point.
+constexpr bool in_result(bool in_subject, bool in_clip, BoolOp op) {
+  switch (op) {
+    case BoolOp::kIntersection: return in_subject && in_clip;
+    case BoolOp::kUnion: return in_subject || in_clip;
+    case BoolOp::kDifference: return in_subject && !in_clip;
+    case BoolOp::kXor: return in_subject != in_clip;
+  }
+  return false;
+}
+
+/// All four operators, for parameterized tests and benches.
+inline constexpr BoolOp kAllOps[] = {BoolOp::kIntersection, BoolOp::kUnion,
+                                     BoolOp::kDifference, BoolOp::kXor};
+
+}  // namespace psclip::geom

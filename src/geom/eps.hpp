@@ -1,0 +1,24 @@
+#pragma once
+
+#include <cmath>
+
+namespace psclip::geom {
+
+/// Central place for the library's floating-point tolerances. Orientation
+/// *decisions* never use these (they go through the exact predicates);
+/// tolerances are only used where coordinates are compared for coincidence,
+/// e.g. stitching virtual vertices on a shared scanline.
+inline constexpr double kEps = 1e-9;
+
+/// Approximate equality with absolute tolerance `eps`.
+inline bool nearly_equal(double a, double b, double eps = kEps) {
+  return std::fabs(a - b) <= eps;
+}
+
+/// Approximate equality scaled by magnitude (relative + absolute floor).
+inline bool nearly_equal_rel(double a, double b, double eps = kEps) {
+  double scale = std::fmax(1.0, std::fmax(std::fabs(a), std::fabs(b)));
+  return std::fabs(a - b) <= eps * scale;
+}
+
+}  // namespace psclip::geom

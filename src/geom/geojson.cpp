@@ -1,0 +1,209 @@
+#include "geom/geojson.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+#include "geom/nesting.hpp"
+
+namespace psclip::geom {
+namespace {
+
+void write_ring(std::ostringstream& os, const Contour& c) {
+  os << '[';
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    if (i) os << ',';
+    os << '[' << c[i].x << ',' << c[i].y << ']';
+  }
+  if (!c.empty()) os << ",[" << c[0].x << ',' << c[0].y << ']';
+  os << ']';
+}
+
+/// Minimal recursive-descent parser for the geometry subset we emit.
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+  }
+  bool eat(char c) {
+    ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    ws();
+    return pos < s.size() && s[pos] == c;
+  }
+  bool number(double& out) {
+    ws();
+    const char* begin = s.data() + pos;
+    auto [ptr, ec] = std::from_chars(begin, s.data() + s.size(), out);
+    if (ec != std::errc{}) return false;
+    pos += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+  bool string_lit(std::string& out) {
+    ws();
+    if (!eat('"')) return false;
+    out.clear();
+    while (pos < s.size() && s[pos] != '"') out.push_back(s[pos++]);
+    return eat('"');
+  }
+  /// Skip any JSON value (for members we don't care about).
+  bool skip_value() {
+    ws();
+    if (pos >= s.size()) return false;
+    const char c = s[pos];
+    if (c == '{' || c == '[') {
+      const char close = c == '{' ? '}' : ']';
+      ++pos;
+      int depth = 1;
+      bool in_str = false;
+      while (pos < s.size() && depth > 0) {
+        const char ch = s[pos++];
+        if (in_str) {
+          if (ch == '\\') ++pos;
+          else if (ch == '"') in_str = false;
+        } else if (ch == '"') {
+          in_str = true;
+        } else if (ch == c) {
+          ++depth;
+        } else if (ch == close) {
+          --depth;
+        }
+      }
+      return depth == 0;
+    }
+    if (c == '"') {
+      std::string tmp;
+      return string_lit(tmp);
+    }
+    // number / literal
+    while (pos < s.size() && s[pos] != ',' && s[pos] != '}' && s[pos] != ']')
+      ++pos;
+    return true;
+  }
+};
+
+bool parse_position(Cursor& c, Point& out) {
+  if (!c.eat('[')) return false;
+  if (!c.number(out.x)) return false;
+  if (!c.eat(',')) return false;
+  if (!c.number(out.y)) return false;
+  // Optional altitude and beyond: skip extra members.
+  while (c.eat(',')) {
+    double z;
+    if (!c.number(z)) return false;
+  }
+  return c.eat(']');
+}
+
+bool parse_ring(Cursor& c, Contour& ring) {
+  if (!c.eat('[')) return false;
+  while (true) {
+    Point p;
+    if (!parse_position(c, p)) return false;
+    ring.pts.push_back(p);
+    if (c.eat(',')) continue;
+    break;
+  }
+  if (!c.eat(']')) return false;
+  if (ring.pts.size() > 1 && ring.pts.front() == ring.pts.back())
+    ring.pts.pop_back();
+  return ring.pts.size() >= 3;
+}
+
+bool parse_polygon_rings(Cursor& c, PolygonSet& out) {
+  if (!c.eat('[')) return false;
+  bool first = true;
+  while (true) {
+    Contour ring;
+    if (!parse_ring(c, ring)) return false;
+    ring.hole = !first;  // GeoJSON: first ring is the shell
+    first = false;
+    out.contours.push_back(std::move(ring));
+    if (c.eat(',')) continue;
+    break;
+  }
+  return c.eat(']');
+}
+
+}  // namespace
+
+std::string to_geojson(const PolygonSet& p) {
+  const auto nested = nest_contours(p);
+  std::ostringstream os;
+  os.precision(17);
+  os << R"({"type":"MultiPolygon","coordinates":[)";
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    if (i) os << ',';
+    os << '[';
+    write_ring(os, nested[i].shell);
+    for (const auto& h : nested[i].holes) {
+      os << ',';
+      write_ring(os, h);
+    }
+    os << ']';
+  }
+  os << "]}";
+  return os.str();
+}
+
+std::optional<PolygonSet> from_geojson(std::string_view json) {
+  Cursor c{json};
+  if (!c.eat('{')) return std::nullopt;
+  std::string type;
+  bool have_coords = false;
+  PolygonSet out;
+
+  // First pass over members: remember type, parse coordinates when the
+  // type is already known; otherwise remember where coordinates start.
+  std::size_t coords_pos = std::string::npos;
+  while (true) {
+    std::string key;
+    if (!c.string_lit(key)) return std::nullopt;
+    if (!c.eat(':')) return std::nullopt;
+    if (key == "type") {
+      if (!c.string_lit(type)) return std::nullopt;
+    } else if (key == "coordinates") {
+      coords_pos = c.pos;
+      if (!c.skip_value()) return std::nullopt;
+      have_coords = true;
+    } else {
+      if (!c.skip_value()) return std::nullopt;
+    }
+    if (c.eat(',')) continue;
+    break;
+  }
+  if (!c.eat('}')) return std::nullopt;
+  if (!have_coords) return std::nullopt;
+
+  Cursor coords{json, coords_pos};
+  if (type == "Polygon") {
+    if (!parse_polygon_rings(coords, out)) return std::nullopt;
+    return out;
+  }
+  if (type == "MultiPolygon") {
+    if (!coords.eat('[')) return std::nullopt;
+    if (coords.peek(']')) {  // empty MultiPolygon
+      coords.eat(']');
+      return out;
+    }
+    while (true) {
+      if (!parse_polygon_rings(coords, out)) return std::nullopt;
+      if (coords.eat(',')) continue;
+      break;
+    }
+    if (!coords.eat(']')) return std::nullopt;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace psclip::geom

@@ -1,0 +1,23 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Serialize a polygon set as a GeoJSON MultiPolygon geometry. Contours
+/// are first grouped into shell+holes polygons (see nesting.hpp), so the
+/// output follows the GeoJSON winding convention (shells counter-
+/// clockwise, holes clockwise, first position repeated at the end).
+std::string to_geojson(const PolygonSet& p);
+
+/// Parse a GeoJSON `Polygon` or `MultiPolygon` geometry object (the
+/// subset used in GIS polygon layers — no Feature wrapper, no foreign
+/// members required). All rings become contours; hole rings keep their
+/// `hole` flag. Returns nullopt on malformed input.
+std::optional<PolygonSet> from_geojson(std::string_view json);
+
+}  // namespace psclip::geom

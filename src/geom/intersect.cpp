@@ -1,0 +1,91 @@
+#include "geom/intersect.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/predicates.hpp"
+
+namespace psclip::geom {
+
+Point line_intersection(const Point& a1, const Point& a2, const Point& b1,
+                        const Point& b2) {
+  const Point r = a2 - a1;
+  const Point s = b2 - b1;
+  const double denom = cross(r, s);
+  const double t = cross(b1 - a1, s) / denom;
+  return {a1.x + t * r.x, a1.y + t * r.y};
+}
+
+bool segments_intersect(const Point& a1, const Point& a2, const Point& b1,
+                        const Point& b2) {
+  const int o1 = orient2d_sign(a1, a2, b1);
+  const int o2 = orient2d_sign(a1, a2, b2);
+  const int o3 = orient2d_sign(b1, b2, a1);
+  const int o4 = orient2d_sign(b1, b2, a2);
+  if (o1 != o2 && o3 != o4) return true;
+  if (o1 == 0 && on_segment(a1, a2, b1)) return true;
+  if (o2 == 0 && on_segment(a1, a2, b2)) return true;
+  if (o3 == 0 && on_segment(b1, b2, a1)) return true;
+  if (o4 == 0 && on_segment(b1, b2, a2)) return true;
+  return false;
+}
+
+SegmentIntersection segment_intersection(const Point& a1, const Point& a2,
+                                         const Point& b1, const Point& b2) {
+  SegmentIntersection out;
+  const int o1 = orient2d_sign(a1, a2, b1);
+  const int o2 = orient2d_sign(a1, a2, b2);
+  const int o3 = orient2d_sign(b1, b2, a1);
+  const int o4 = orient2d_sign(b1, b2, a2);
+
+  if (o1 == 0 && o2 == 0) {
+    // Collinear. Project on the dominant axis and intersect ranges.
+    const bool use_x = std::fabs(a2.x - a1.x) >= std::fabs(a2.y - a1.y);
+    auto key = [use_x](const Point& p) { return use_x ? p.x : p.y; };
+    Point alo = a1, ahi = a2, blo = b1, bhi = b2;
+    if (key(ahi) < key(alo)) std::swap(alo, ahi);
+    if (key(bhi) < key(blo)) std::swap(blo, bhi);
+    const Point lo = key(alo) > key(blo) ? alo : blo;
+    const Point hi = key(ahi) < key(bhi) ? ahi : bhi;
+    if (key(lo) > key(hi)) return out;  // disjoint
+    if (key(lo) == key(hi)) {
+      out.relation = SegmentRelation::kTouch;
+      out.point = lo;
+      return out;
+    }
+    out.relation = SegmentRelation::kOverlap;
+    out.point = lo;
+    out.point2 = hi;
+    return out;
+  }
+
+  if (o1 != o2 && o3 != o4) {
+    const bool endpoint = o1 == 0 || o2 == 0 || o3 == 0 || o4 == 0;
+    out.relation =
+        endpoint ? SegmentRelation::kTouch : SegmentRelation::kProper;
+    if (o1 == 0) out.point = b1;
+    else if (o2 == 0) out.point = b2;
+    else if (o3 == 0) out.point = a1;
+    else if (o4 == 0) out.point = a2;
+    else out.point = line_intersection(a1, a2, b1, b2);
+    return out;
+  }
+
+  // One endpoint may still lie on the other segment.
+  if (o1 == 0 && on_segment(a1, a2, b1)) {
+    out.relation = SegmentRelation::kTouch;
+    out.point = b1;
+  } else if (o2 == 0 && on_segment(a1, a2, b2)) {
+    out.relation = SegmentRelation::kTouch;
+    out.point = b2;
+  } else if (o3 == 0 && on_segment(b1, b2, a1)) {
+    out.relation = SegmentRelation::kTouch;
+    out.point = a1;
+  } else if (o4 == 0 && on_segment(b1, b2, a2)) {
+    out.relation = SegmentRelation::kTouch;
+    out.point = a2;
+  }
+  return out;
+}
+
+}  // namespace psclip::geom

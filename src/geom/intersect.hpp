@@ -1,0 +1,48 @@
+#pragma once
+
+#include <optional>
+
+#include "geom/point.hpp"
+
+namespace psclip::geom {
+
+/// Classification of how two closed segments meet.
+enum class SegmentRelation {
+  kDisjoint,   ///< no common point
+  kProper,     ///< a single interior-interior crossing
+  kTouch,      ///< a single common point involving an endpoint
+  kOverlap,    ///< collinear with a shared sub-segment
+};
+
+/// Result of a segment/segment intersection query.
+struct SegmentIntersection {
+  SegmentRelation relation = SegmentRelation::kDisjoint;
+  /// Intersection point for kProper / kTouch; first overlap endpoint for
+  /// kOverlap (second in `point2`).
+  Point point{};
+  Point point2{};
+};
+
+/// Robustly classify the intersection of segments [a1,a2] and [b1,b2] and
+/// compute the intersection point(s). Classification uses exact orientation
+/// predicates; the returned coordinates are the usual double-precision
+/// parametric evaluation.
+SegmentIntersection segment_intersection(const Point& a1, const Point& a2,
+                                         const Point& b1, const Point& b2);
+
+/// True if the two closed segments share at least one point.
+bool segments_intersect(const Point& a1, const Point& a2, const Point& b1,
+                        const Point& b2);
+
+/// Intersection point of the two *lines* through (a1,a2) and (b1,b2).
+/// Precondition: the lines are not parallel (caller has established a
+/// crossing, e.g. from an inversion in the scanbeam order).
+Point line_intersection(const Point& a1, const Point& a2, const Point& b1,
+                        const Point& b2);
+
+/// x-coordinate of the segment (p, q) at height y, where p.y != q.y.
+inline double x_at_y(const Point& p, const Point& q, double y) {
+  return p.x + (q.x - p.x) * ((y - p.y) / (q.y - p.y));
+}
+
+}  // namespace psclip::geom

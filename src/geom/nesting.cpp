@@ -1,0 +1,82 @@
+#include "geom/nesting.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geom/point_in_polygon.hpp"
+
+namespace psclip::geom {
+namespace {
+
+/// Containment test between rings: every ring vertex strictly inside, by
+/// testing one representative vertex (valid for disjoint clipper output
+/// rings which never cross).
+bool ring_inside(const Contour& inner, const Contour& outer) {
+  if (inner.empty() || outer.empty()) return false;
+  // A vertex of a ring may lie on the outer ring at touch points; average
+  // two consecutive vertices to get an interior boundary point instead.
+  const Point probe{0.5 * (inner[0].x + inner[1 % inner.size()].x),
+                    0.5 * (inner[0].y + inner[1 % inner.size()].y)};
+  return point_in_contour(probe, outer);
+}
+
+}  // namespace
+
+std::vector<NestedPolygon> nest_contours(const PolygonSet& p) {
+  const std::size_t n = p.contours.size();
+  // Depth of each ring = number of rings properly containing it. Even
+  // depth => shell, odd depth => hole of the deepest containing shell.
+  std::vector<int> depth(n, 0);
+  std::vector<int> parent(n, -1);  // smallest-area containing ring
+  std::vector<double> abs_area(n);
+  for (std::size_t i = 0; i < n; ++i)
+    abs_area[i] = std::fabs(signed_area(p.contours[i]));
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (abs_area[j] <= abs_area[i]) continue;  // container must be larger
+      if (!ring_inside(p.contours[i], p.contours[j])) continue;
+      ++depth[i];
+      if (parent[i] < 0 ||
+          abs_area[j] < abs_area[static_cast<std::size_t>(parent[i])])
+        parent[i] = static_cast<int>(j);
+    }
+  }
+
+  std::vector<NestedPolygon> out;
+  std::vector<int> shell_index(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (depth[i] % 2 != 0) continue;  // holes attached below
+    NestedPolygon np;
+    np.shell = p.contours[i];
+    np.shell.hole = false;
+    if (signed_area(np.shell) < 0.0) reverse(np.shell);
+    shell_index[i] = static_cast<int>(out.size());
+    out.push_back(std::move(np));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (depth[i] % 2 == 0) continue;
+    Contour hole = p.contours[i];
+    hole.hole = true;
+    if (signed_area(hole) > 0.0) reverse(hole);
+    const int par = parent[i];
+    if (par >= 0 && shell_index[static_cast<std::size_t>(par)] >= 0) {
+      out[static_cast<std::size_t>(
+              shell_index[static_cast<std::size_t>(par)])]
+          .holes.push_back(std::move(hole));
+    }
+  }
+  return out;
+}
+
+PolygonSet flatten(const std::vector<NestedPolygon>& polys) {
+  PolygonSet out;
+  for (const auto& np : polys) {
+    out.contours.push_back(np.shell);
+    for (const auto& h : np.holes) out.contours.push_back(h);
+  }
+  return out;
+}
+
+}  // namespace psclip::geom

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// One polygon in the conventional GIS sense: an exterior shell plus the
+/// hole rings directly contained in it.
+struct NestedPolygon {
+  Contour shell;               ///< counter-clockwise exterior ring
+  std::vector<Contour> holes;  ///< clockwise hole rings inside the shell
+};
+
+/// Group clipper output contours into shell+holes polygons.
+///
+/// Clipper results are flat contour lists with orientation/hole flags
+/// (even-odd equivalent); many consumers (GeoJSON, shapefiles, renderers)
+/// want the nested form instead. Each hole ring is attached to the
+/// smallest exterior ring containing it; islands inside holes become
+/// separate polygons, arbitrarily deep. O(n_rings^2) point-in-polygon
+/// containment tests — fine for clipper outputs, not meant for bulk data.
+std::vector<NestedPolygon> nest_contours(const PolygonSet& p);
+
+/// Flatten nested polygons back into a PolygonSet (inverse of
+/// nest_contours up to ring order).
+PolygonSet flatten(const std::vector<NestedPolygon>& polys);
+
+}  // namespace psclip::geom

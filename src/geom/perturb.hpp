@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Remove horizontal edges by perturbing vertex y-coordinates, implementing
+/// the preprocessing assumption of the paper (§III-C): "if horizontal edges
+/// are present then ... the edges are preprocessed by slightly perturbing
+/// the vertices to make them non-horizontal."
+///
+/// `magnitude` is the per-step nudge relative to the polygon's height
+/// (default a few ULP-scale fractions). The perturbation is deterministic.
+/// Returns the number of vertices moved.
+int remove_horizontals(PolygonSet& p, double magnitude = 1e-9);
+
+/// Deterministic pseudo-random jitter of all vertices by up to `magnitude`
+/// (absolute units), used to put degenerate datasets into general position
+/// before clipping. The same seed always produces the same jitter.
+void jitter(PolygonSet& p, double magnitude, std::uint64_t seed);
+
+/// True if any edge of `p` is exactly horizontal.
+bool has_horizontal_edges(const PolygonSet& p);
+
+}  // namespace psclip::geom

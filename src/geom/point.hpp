@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace psclip::geom {
+
+/// A point (or 2-D vector) in the plane. Plain aggregate; all clipping code
+/// treats coordinates as exact doubles and routes orientation decisions
+/// through the robust predicates in predicates.hpp.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+  friend constexpr bool operator!=(const Point& a, const Point& b) {
+    return !(a == b);
+  }
+  /// Lexicographic y-then-x order: the sweep order used throughout the
+  /// library (scanlines advance in +y; ties resolved by x).
+  friend constexpr bool operator<(const Point& a, const Point& b) {
+    return a.y < b.y || (a.y == b.y && a.x < b.x);
+  }
+
+  friend constexpr Point operator+(const Point& a, const Point& b) {
+    return {a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Point operator-(const Point& a, const Point& b) {
+    return {a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Point operator*(double s, const Point& p) {
+    return {s * p.x, s * p.y};
+  }
+};
+
+/// Dot product of two vectors.
+constexpr double dot(const Point& a, const Point& b) {
+  return a.x * b.x + a.y * b.y;
+}
+
+/// z-component of the cross product (non-robust; use orient2d for decisions).
+constexpr double cross(const Point& a, const Point& b) {
+  return a.x * b.y - a.y * b.x;
+}
+
+/// Euclidean distance between two points.
+inline double distance(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+inline std::ostream& operator<<(std::ostream& os, const Point& p) {
+  return os << '(' << p.x << ", " << p.y << ')';
+}
+
+/// Hash suitable for unordered containers keyed by exact coordinates.
+struct PointHash {
+  std::size_t operator()(const Point& p) const noexcept {
+    auto h = std::hash<double>{};
+    std::size_t a = h(p.x), b = h(p.y);
+    return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  }
+};
+
+}  // namespace psclip::geom

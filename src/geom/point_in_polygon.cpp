@@ -1,0 +1,64 @@
+#include "geom/point_in_polygon.hpp"
+
+#include "geom/predicates.hpp"
+
+namespace psclip::geom {
+namespace {
+
+/// Counts parity of crossings of the leftward horizontal ray from q with
+/// contour c, using the half-open rule [ymin, ymax) per edge so that
+/// vertices are counted exactly once. Returns -1 if q is on the boundary.
+int contour_parity(const Point& q, const Contour& c) {
+  const std::size_t n = c.size();
+  int parity = 0;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = c[j];
+    const Point& b = c[i];
+    if (on_segment(a, b, q)) return -1;
+    // Half-open in y: edge spans [min(a.y,b.y), max(a.y,b.y)).
+    const bool spans = (a.y <= q.y) != (b.y <= q.y);
+    if (!spans) continue;
+    // Crossing is strictly left of q iff q is on the right side of the
+    // upward-directed edge.
+    const Point lo = a.y < b.y ? a : b;
+    const Point hi = a.y < b.y ? b : a;
+    if (orient2d(lo, hi, q) < 0.0) parity ^= 1;
+  }
+  return parity;
+}
+
+}  // namespace
+
+bool point_in_contour(const Point& q, const Contour& c) {
+  const int par = contour_parity(q, c);
+  return par != 0;  // boundary counts as inside
+}
+
+bool point_in_polygon(const Point& q, const PolygonSet& p) {
+  int parity = 0;
+  for (const auto& c : p.contours) {
+    const int par = contour_parity(q, c);
+    if (par < 0) return true;  // on boundary
+    parity ^= par;
+  }
+  return parity != 0;
+}
+
+int crossings_left_of(const Point& q, const PolygonSet& p) {
+  int count = 0;
+  for (const auto& c : p.contours) {
+    const std::size_t n = c.size();
+    for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+      const Point& a = c[j];
+      const Point& b = c[i];
+      const bool spans = (a.y <= q.y) != (b.y <= q.y);
+      if (!spans) continue;
+      const Point lo = a.y < b.y ? a : b;
+      const Point hi = a.y < b.y ? b : a;
+      if (orient2d(lo, hi, q) < 0.0) ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace psclip::geom

@@ -1,0 +1,21 @@
+#pragma once
+
+#include "geom/point.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Even-odd (parity) point-in-region test over all contours of `p`,
+/// the fill rule used throughout the paper (Lemma 3's parity argument).
+/// Points exactly on the boundary are classified as inside.
+bool point_in_polygon(const Point& q, const PolygonSet& p);
+
+/// Parity test against a single contour.
+bool point_in_contour(const Point& q, const Contour& c);
+
+/// Number of edges of `p` strictly to the left of `q` on the horizontal
+/// line through `q` — the quantity whose parity Lemma 3 computes with a
+/// prefix sum. Exposed for tests.
+int crossings_left_of(const Point& q, const PolygonSet& p);
+
+}  // namespace psclip::geom

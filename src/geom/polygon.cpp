@@ -1,0 +1,95 @@
+#include "geom/polygon.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "geom/eps.hpp"
+
+namespace psclip::geom {
+
+std::size_t PolygonSet::num_vertices() const {
+  std::size_t n = 0;
+  for (const auto& c : contours) n += c.size();
+  return n;
+}
+
+double signed_area(const Contour& c) {
+  const std::size_t n = c.size();
+  if (n < 3) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    s += (c[j].x + c[i].x) * (c[i].y - c[j].y);
+  }
+  return 0.5 * s;
+}
+
+double signed_area(const PolygonSet& p) {
+  double s = 0.0;
+  for (const auto& c : p.contours) s += signed_area(c);
+  return s;
+}
+
+double area(const PolygonSet& p) { return std::fabs(signed_area(p)); }
+
+BBox bounds(const Contour& c) {
+  BBox b;
+  for (const auto& pt : c.pts) b.expand(pt);
+  return b;
+}
+
+BBox bounds(const PolygonSet& p) {
+  BBox b;
+  for (const auto& c : p.contours) b.expand(bounds(c));
+  return b;
+}
+
+void reverse(Contour& c) {
+  std::reverse(c.pts.begin(), c.pts.end());
+}
+
+Contour make_rect(double xmin, double ymin, double xmax, double ymax) {
+  return Contour{{{xmin, ymin}, {xmax, ymin}, {xmax, ymax}, {xmin, ymax}},
+                 false};
+}
+
+PolygonSet make_polygon(std::vector<Point> ring) {
+  PolygonSet p;
+  p.add(std::move(ring));
+  return p;
+}
+
+PolygonSet transformed(const PolygonSet& p, double scale, Point offset) {
+  PolygonSet out = p;
+  for (auto& c : out.contours)
+    for (auto& pt : c.pts) pt = scale * pt + offset;
+  return out;
+}
+
+PolygonSet cleaned(const PolygonSet& p, double eps) {
+  PolygonSet out;
+  for (const auto& c : p.contours) {
+    Contour nc;
+    nc.hole = c.hole;
+    for (const auto& pt : c.pts) {
+      if (!nc.pts.empty() && nearly_equal(nc.pts.back().x, pt.x, eps) &&
+          nearly_equal(nc.pts.back().y, pt.y, eps))
+        continue;
+      nc.pts.push_back(pt);
+    }
+    while (nc.pts.size() > 1 &&
+           nearly_equal(nc.pts.front().x, nc.pts.back().x, eps) &&
+           nearly_equal(nc.pts.front().y, nc.pts.back().y, eps))
+      nc.pts.pop_back();
+    if (nc.pts.size() >= 3) out.contours.push_back(std::move(nc));
+  }
+  return out;
+}
+
+std::string describe(const PolygonSet& p) {
+  std::ostringstream os;
+  os << p.num_contours() << " contours, " << p.num_vertices()
+     << " vertices, signed_area=" << signed_area(p);
+  return os.str();
+}
+
+}  // namespace psclip::geom

@@ -1,0 +1,30 @@
+#pragma once
+
+#include "geom/point.hpp"
+
+namespace psclip::geom {
+
+/// Robust orientation test (Shewchuk-style adaptive precision).
+///
+/// Returns a value whose *sign* is exact:
+///   > 0  if a, b, c make a counter-clockwise turn,
+///   < 0  if clockwise,
+///   = 0  if exactly collinear.
+///
+/// The fast path is a plain double determinant guarded by a static error
+/// bound; only near-degenerate inputs fall through to exact expansion
+/// arithmetic.
+double orient2d(const Point& a, const Point& b, const Point& c);
+
+/// Sign of orient2d as -1 / 0 / +1.
+int orient2d_sign(const Point& a, const Point& b, const Point& c);
+
+/// True if point p lies strictly to the left of the directed line a -> b.
+inline bool left_of(const Point& a, const Point& b, const Point& p) {
+  return orient2d(a, b, p) > 0.0;
+}
+
+/// True if p lies on the closed segment [a, b] (collinear and within range).
+bool on_segment(const Point& a, const Point& b, const Point& p);
+
+}  // namespace psclip::geom

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Minimal SVG writer used by the example programs to visualize inputs and
+/// clip results. Each layer is drawn as one <path> with the even-odd fill
+/// rule, so self-intersecting inputs render exactly as the clippers
+/// interpret them.
+class SvgWriter {
+ public:
+  /// `width` is the output pixel width; height follows the data aspect.
+  explicit SvgWriter(int width = 800) : width_(width) {}
+
+  /// Add a polygon layer drawn with the given fill/stroke CSS colors.
+  void add_layer(const PolygonSet& p, const std::string& fill,
+                 const std::string& stroke, double fill_opacity = 0.5);
+
+  /// Render to an SVG document string.
+  [[nodiscard]] std::string str() const;
+
+  /// Write the document to a file; returns false on I/O failure.
+  bool save(const std::string& path) const;
+
+ private:
+  struct Layer {
+    PolygonSet polys;
+    std::string fill, stroke;
+    double opacity;
+  };
+  int width_;
+  std::vector<Layer> layers_;
+};
+
+}  // namespace psclip::geom

@@ -1,0 +1,102 @@
+#include "geom/validate.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "geom/intersect.hpp"
+
+namespace psclip::geom {
+
+const char* to_string(ValidationIssue::Kind k) {
+  switch (k) {
+    case ValidationIssue::Kind::kTooFewVertices: return "too-few-vertices";
+    case ValidationIssue::Kind::kDuplicateVertex: return "duplicate-vertex";
+    case ValidationIssue::Kind::kSelfIntersection: return "self-intersection";
+    case ValidationIssue::Kind::kCrossContourCrossing:
+      return "cross-contour-crossing";
+    case ValidationIssue::Kind::kSpike: return "spike";
+    case ValidationIssue::Kind::kZeroArea: return "zero-area";
+    case ValidationIssue::Kind::kHoleOrientation: return "hole-orientation";
+  }
+  return "?";
+}
+
+std::vector<ValidationIssue> validate(const PolygonSet& p,
+                                      double zero_area_eps) {
+  std::vector<ValidationIssue> issues;
+  using Kind = ValidationIssue::Kind;
+
+  for (std::size_t ci = 0; ci < p.contours.size(); ++ci) {
+    const Contour& c = p.contours[ci];
+    const std::size_t n = c.size();
+    if (n < 3) {
+      issues.push_back({Kind::kTooFewVertices, ci, 0, 0, ""});
+      continue;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (c[i] == c[(i + 1) % n])
+        issues.push_back({Kind::kDuplicateVertex, ci, i, 0, ""});
+      if (n >= 3 && c[(i + n - 1) % n] == c[(i + 1) % n])
+        issues.push_back({Kind::kSpike, ci, i, 0, ""});
+    }
+    const double sa = signed_area(c);
+    if (std::fabs(sa) <= zero_area_eps)
+      issues.push_back({Kind::kZeroArea, ci, 0, 0, ""});
+    if (c.hole ? sa > 0.0 : sa < 0.0)
+      issues.push_back({Kind::kHoleOrientation, ci, 0, 0, ""});
+
+    // Self-intersections (proper crossings only: touching at shared
+    // vertices is legitimate for clipper output at pinch points).
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto x = segment_intersection(c[i], c[(i + 1) % n], c[j],
+                                            c[(j + 1) % n]);
+        if (x.relation == SegmentRelation::kProper) {
+          std::ostringstream os;
+          os << "edges " << i << " and " << j << " cross at (" << x.point.x
+             << ", " << x.point.y << ")";
+          issues.push_back({Kind::kSelfIntersection, ci, i, 0, os.str()});
+        }
+      }
+    }
+  }
+
+  // Cross-contour proper crossings (contours may nest or touch, never
+  // cross).
+  for (std::size_t a = 0; a < p.contours.size(); ++a) {
+    for (std::size_t b = a + 1; b < p.contours.size(); ++b) {
+      const Contour& ca = p.contours[a];
+      const Contour& cb = p.contours[b];
+      if (ca.size() < 3 || cb.size() < 3) continue;
+      if (!bounds(ca).overlaps(bounds(cb))) continue;
+      for (std::size_t i = 0; i < ca.size(); ++i) {
+        for (std::size_t j = 0; j < cb.size(); ++j) {
+          const auto x = segment_intersection(
+              ca[i], ca[(i + 1) % ca.size()], cb[j],
+              cb[(j + 1) % cb.size()]);
+          if (x.relation == SegmentRelation::kProper)
+            issues.push_back(
+                {ValidationIssue::Kind::kCrossContourCrossing, a, i, b, ""});
+        }
+      }
+    }
+  }
+  return issues;
+}
+
+bool is_valid_output(const PolygonSet& p) { return validate(p).empty(); }
+
+std::string validation_report(const PolygonSet& p) {
+  std::ostringstream os;
+  for (const auto& issue : validate(p)) {
+    os << to_string(issue.kind) << " contour=" << issue.contour
+       << " vertex=" << issue.vertex;
+    if (issue.kind == ValidationIssue::Kind::kCrossContourCrossing)
+      os << " other=" << issue.contour2;
+    if (!issue.detail.empty()) os << " (" << issue.detail << ")";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace psclip::geom

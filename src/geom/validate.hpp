@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// One defect found by validate().
+struct ValidationIssue {
+  enum class Kind {
+    kTooFewVertices,       ///< contour with < 3 vertices
+    kDuplicateVertex,      ///< consecutive identical vertices
+    kSelfIntersection,     ///< two edges of one contour properly cross
+    kCrossContourCrossing, ///< edges of two different contours cross
+    kSpike,                ///< zero-area excursion (v[i-1] == v[i+1])
+    kZeroArea,             ///< contour with (near) zero area
+    kHoleOrientation,      ///< hole flag inconsistent with orientation
+  };
+  Kind kind;
+  std::size_t contour = 0;   ///< index of the (first) offending contour
+  std::size_t vertex = 0;    ///< index of the offending vertex/edge
+  std::size_t contour2 = 0;  ///< second contour for cross-contour issues
+  std::string detail;
+};
+
+const char* to_string(ValidationIssue::Kind k);
+
+/// Structural validation of a polygon set against the *output* contract of
+/// the clippers: simple contours that do not cross each other, no
+/// degenerate vertices, exterior rings counter-clockwise and holes
+/// clockwise. Inputs to the clippers are allowed to violate most of this
+/// (even-odd semantics embraces self-intersection), so validate() is a
+/// quality gate for results, not a precondition check.
+/// O(edges^2) crossing scan — intended for tests and debugging.
+std::vector<ValidationIssue> validate(const PolygonSet& p,
+                                      double zero_area_eps = 0.0);
+
+/// Convenience: true when validate() finds nothing.
+bool is_valid_output(const PolygonSet& p);
+
+/// Human-readable report (one line per issue; empty string when valid).
+std::string validation_report(const PolygonSet& p);
+
+}  // namespace psclip::geom

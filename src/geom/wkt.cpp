@@ -1,0 +1,126 @@
+#include "geom/wkt.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+
+namespace psclip::geom {
+
+std::string to_wkt(const PolygonSet& p) {
+  if (p.empty()) return "MULTIPOLYGON EMPTY";
+  std::ostringstream os;
+  os.precision(17);
+  os << "MULTIPOLYGON (";
+  bool first_c = true;
+  for (const auto& c : p.contours) {
+    if (!first_c) os << ", ";
+    first_c = false;
+    os << "((";
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      if (i) os << ", ";
+      os << c[i].x << ' ' << c[i].y;
+    }
+    // WKT rings repeat the first vertex at the end.
+    if (!c.empty()) os << ", " << c[0].x << ' ' << c[0].y;
+    os << "))";
+  }
+  os << ")";
+  return os.str();
+}
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    skip_ws();
+    return pos < s.size() && s[pos] == c;
+  }
+  bool number(double& out) {
+    skip_ws();
+    const char* begin = s.data() + pos;
+    const char* end = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(begin, end, out);
+    if (ec != std::errc{}) return false;
+    pos += static_cast<std::size_t>(ptr - begin);
+    return true;
+  }
+};
+
+bool parse_ring(Cursor& c, Contour& out) {
+  if (!c.eat('(')) return false;
+  while (true) {
+    double x, y;
+    if (!c.number(x) || !c.number(y)) return false;
+    out.pts.push_back({x, y});
+    if (c.eat(',')) continue;
+    break;
+  }
+  if (!c.eat(')')) return false;
+  if (out.pts.size() > 1 && out.pts.front() == out.pts.back())
+    out.pts.pop_back();
+  return out.pts.size() >= 3;
+}
+
+bool parse_polygon_body(Cursor& c, PolygonSet& out) {
+  if (!c.eat('(')) return false;
+  while (true) {
+    Contour ring;
+    if (!parse_ring(c, ring)) return false;
+    out.contours.push_back(std::move(ring));
+    if (c.eat(',')) continue;
+    break;
+  }
+  return c.eat(')');
+}
+
+bool match_keyword(Cursor& c, std::string_view kw) {
+  c.skip_ws();
+  if (c.s.size() - c.pos < kw.size()) return false;
+  for (std::size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(c.s[c.pos + i])) != kw[i])
+      return false;
+  }
+  c.pos += kw.size();
+  return true;
+}
+
+}  // namespace
+
+std::optional<PolygonSet> from_wkt(std::string_view wkt) {
+  Cursor c{wkt};
+  PolygonSet out;
+  if (match_keyword(c, "MULTIPOLYGON")) {
+    if (match_keyword(c, "EMPTY")) return out;
+    if (!c.eat('(')) return std::nullopt;
+    while (true) {
+      if (!parse_polygon_body(c, out)) return std::nullopt;
+      if (c.eat(',')) continue;
+      break;
+    }
+    if (!c.eat(')')) return std::nullopt;
+    return out;
+  }
+  if (match_keyword(c, "POLYGON")) {
+    if (match_keyword(c, "EMPTY")) return out;
+    if (!parse_polygon_body(c, out)) return std::nullopt;
+    return out;
+  }
+  return std::nullopt;
+}
+
+}  // namespace psclip::geom

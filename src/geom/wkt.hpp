@@ -1,0 +1,21 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+
+/// Serialize a polygon set as WKT. Every contour becomes one single-ring
+/// POLYGON inside a MULTIPOLYGON (hole nesting is not reconstructed; the
+/// even-odd fill rule makes the flat form equivalent).
+std::string to_wkt(const PolygonSet& p);
+
+/// Parse `POLYGON ((...), (...))` or `MULTIPOLYGON (((...)), ...)` text.
+/// All rings (shells and holes alike) become contours. Returns nullopt on
+/// malformed input.
+std::optional<PolygonSet> from_wkt(std::string_view wkt);
+
+}  // namespace psclip::geom

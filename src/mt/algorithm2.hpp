@@ -1,0 +1,40 @@
+#pragma once
+
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+#include "mt/stats.hpp"
+#include "parallel/thread_pool.hpp"
+#include "seq/rect_clip.hpp"
+
+namespace psclip::mt {
+
+/// Options for the multi-threaded slab clipper (Algorithm 2).
+struct Alg2Options {
+  /// Number of horizontal slabs (the paper uses one per thread). 0 = the
+  /// pool's thread count.
+  unsigned slabs = 0;
+  /// Clipper used for the rectangle-clipping Steps 4–5; the paper picks
+  /// Greiner–Hormann after benchmarking it against GPC.
+  seq::RectClipMethod rect_method = seq::RectClipMethod::kGreinerHormann;
+};
+
+/// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts
+/// multi-contour inputs):
+///
+///   1–2  collect and sort the distinct vertex ordinates,
+///   3    compute the minimum bounding rectangle of A ∪ B,
+///   4–5  cut both inputs into p horizontal slabs with (nearly) equal
+///        event-point counts; slab boundaries are placed *between*
+///        adjacent event ordinates so no vertex lies on a boundary,
+///   6    clip each slab pair with the sequential Vatti clipper
+///        (our GPC stand-in), all slabs in parallel,
+///   8    concatenate the per-slab outputs (the paper's sequential merge:
+///        pieces have disjoint interiors, so concatenation is the even-odd
+///        union; contours crossing slab boundaries remain split, exactly
+///        as in the paper).
+geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
+                           const geom::PolygonSet& clip, geom::BoolOp op,
+                           par::ThreadPool& pool, const Alg2Options& opts = {},
+                           Alg2Stats* stats = nullptr);
+
+}  // namespace psclip::mt

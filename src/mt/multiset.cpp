@@ -1,0 +1,310 @@
+#include "mt/multiset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "parallel/sort.hpp"
+#include "parallel/timing.hpp"
+#include "seq/vatti.hpp"
+
+namespace psclip::mt {
+namespace {
+
+struct PolyRec {
+  const geom::Contour* contour;
+  double ymin, ymax;
+};
+
+std::vector<PolyRec> records(const geom::PolygonSet& p) {
+  std::vector<PolyRec> recs;
+  recs.reserve(p.num_contours());
+  for (const auto& c : p.contours) {
+    const geom::BBox b = geom::bounds(c);
+    if (b.empty()) continue;
+    recs.push_back({&c, b.ymin, b.ymax});
+  }
+  return recs;
+}
+
+/// Descriptor for duplicate elimination: replicated pairs produce the same
+/// output region in every slab containing all their generators;
+/// coordinates can differ by perturbation noise, so matching is tolerant.
+struct ContourSig {
+  std::size_t index;
+  std::size_t nverts;
+  double area, cx, cy;
+};
+
+ContourSig signature(const geom::Contour& c, std::size_t index) {
+  ContourSig s{index, c.size(), std::fabs(geom::signed_area(c)), 0.0, 0.0};
+  for (const auto& p : c.pts) {
+    s.cx += p.x;
+    s.cy += p.y;
+  }
+  s.cx /= static_cast<double>(c.size());
+  s.cy /= static_cast<double>(c.size());
+  return s;
+}
+
+geom::PolygonSet drop_duplicates(geom::PolygonSet merged,
+                                 std::int64_t* removed) {
+  std::vector<ContourSig> sigs;
+  sigs.reserve(merged.num_contours());
+  for (std::size_t i = 0; i < merged.contours.size(); ++i)
+    sigs.push_back(signature(merged.contours[i], i));
+  std::sort(sigs.begin(), sigs.end(),
+            [](const ContourSig& a, const ContourSig& b) {
+              if (a.nverts != b.nverts) return a.nverts < b.nverts;
+              return a.area < b.area;
+            });
+  std::vector<std::uint8_t> drop(merged.contours.size(), 0);
+  std::int64_t dups = 0;
+  const double eps = 1e-7;
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    if (drop[sigs[i].index]) continue;
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      if (sigs[j].nverts != sigs[i].nverts) break;
+      if (sigs[j].area - sigs[i].area > eps * (1.0 + std::fabs(sigs[i].area)))
+        break;
+      if (drop[sigs[j].index]) continue;
+      const bool same =
+          std::fabs(sigs[j].cx - sigs[i].cx) <=
+              eps * (1.0 + std::fabs(sigs[i].cx)) &&
+          std::fabs(sigs[j].cy - sigs[i].cy) <=
+              eps * (1.0 + std::fabs(sigs[i].cy));
+      if (same) {
+        drop[sigs[j].index] = 1;
+        ++dups;
+      }
+    }
+  }
+  geom::PolygonSet out;
+  for (std::size_t i = 0; i < merged.contours.size(); ++i)
+    if (!drop[i]) out.contours.push_back(std::move(merged.contours[i]));
+  if (removed) *removed = dups;
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(MultisetAssign a) {
+  switch (a) {
+    case MultisetAssign::kAuto: return "auto";
+    case MultisetAssign::kSubjectOwner: return "subject-owner";
+    case MultisetAssign::kReplicate: return "replicate";
+    case MultisetAssign::kBlockClosure: return "block-closure";
+  }
+  return "?";
+}
+
+geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
+                               const geom::PolygonSet& clip, geom::BoolOp op,
+                               par::ThreadPool& pool,
+                               const MultisetOptions& opts,
+                               Alg2Stats* stats) {
+  const unsigned p = opts.slabs ? opts.slabs : pool.size();
+  MultisetAssign mode = opts.assign;
+  if (mode == MultisetAssign::kAuto) {
+    mode = (op == geom::BoolOp::kIntersection ||
+            op == geom::BoolOp::kDifference)
+               ? MultisetAssign::kSubjectOwner
+               : MultisetAssign::kBlockClosure;
+  }
+  par::WallTimer phase_timer;
+
+  const auto srecs = records(subject);
+  const auto crecs = records(clip);
+
+  // Event list: both y-extents of every polygon MBR (paper §IV).
+  std::vector<double> events;
+  events.reserve(2 * (srecs.size() + crecs.size()));
+  for (const auto* recs : {&srecs, &crecs}) {
+    for (const auto& r : *recs) {
+      events.push_back(r.ymin);
+      events.push_back(r.ymax);
+    }
+  }
+  if (events.empty()) return {};
+  par::parallel_sort(pool, events);
+
+  // Slab boundaries at equal event counts, between adjacent events.
+  std::vector<double> bounds;
+  bounds.push_back(events.front() - 1.0);
+  for (unsigned t = 1; t < p; ++t) {
+    const std::size_t cut = t * events.size() / p;
+    if (cut == 0 || cut >= events.size()) continue;
+    const double b = 0.5 * (events[cut - 1] + events[cut]);
+    if (b > bounds.back()) bounds.push_back(b);
+  }
+  if (events.back() + 1.0 > bounds.back())
+    bounds.push_back(events.back() + 1.0);
+  const std::size_t nslabs = bounds.size() - 1;
+  const double t_events = phase_timer.seconds();
+  phase_timer.reset();
+
+  // ---- Distribute polygons to slabs per the assignment mode. ----
+  std::vector<geom::PolygonSet> slab_subject, slab_clip_in;
+  bool need_dedup = false;
+
+  switch (mode) {
+    case MultisetAssign::kSubjectOwner: {
+      // Each subject polygon goes to exactly one slab; the clip polygons
+      // a subject can interact with are replicated into that slab. Every
+      // subject (and so every interacting pair) is clipped exactly once.
+      slab_subject.resize(nslabs);
+      slab_clip_in.resize(nslabs);
+      std::vector<std::pair<double, double>> reach(
+          nslabs, {std::numeric_limits<double>::infinity(),
+                   -std::numeric_limits<double>::infinity()});
+      auto slab_of = [&bounds](double y) -> std::size_t {
+        const auto it =
+            std::upper_bound(bounds.begin(), bounds.end(), y);
+        const std::size_t i = static_cast<std::size_t>(it - bounds.begin());
+        return std::min(i > 0 ? i - 1 : 0, bounds.size() - 2);
+      };
+      for (const auto& r : srecs) {
+        const std::size_t t = slab_of(0.5 * (r.ymin + r.ymax));
+        slab_subject[t].contours.push_back(*r.contour);
+        reach[t].first = std::min(reach[t].first, r.ymin);
+        reach[t].second = std::max(reach[t].second, r.ymax);
+      }
+      pool.parallel_for(
+          nslabs,
+          [&](std::size_t t) {
+            for (const auto& r : crecs)
+              if (r.ymin <= reach[t].second && r.ymax >= reach[t].first)
+                slab_clip_in[t].contours.push_back(*r.contour);
+          },
+          /*grain=*/1);
+      break;
+    }
+    case MultisetAssign::kReplicate: {
+      // The paper's scheme: y-overlap replication for both layers.
+      slab_subject.resize(nslabs);
+      slab_clip_in.resize(nslabs);
+      pool.parallel_for(
+          nslabs,
+          [&](std::size_t t) {
+            const double lo = bounds[t], hi = bounds[t + 1];
+            for (const auto& r : srecs)
+              if (r.ymin <= hi && r.ymax >= lo)
+                slab_subject[t].contours.push_back(*r.contour);
+            for (const auto& r : crecs)
+              if (r.ymin <= hi && r.ymax >= lo)
+                slab_clip_in[t].contours.push_back(*r.contour);
+          },
+          /*grain=*/1);
+      need_dedup = true;
+      break;
+    }
+    case MultisetAssign::kAuto:  // resolved above; silence the compiler
+    case MultisetAssign::kBlockClosure: {
+      // Merge MBR y-intervals into maximal blocks (transitive overlap),
+      // extend each slab to whole blocks, and drop slabs whose closure
+      // duplicates the previous one. Interacting groups are always fully
+      // inside every slab that sees part of them, so per-slab outputs of
+      // replicated groups are identical and dedup is exact for any op.
+      std::vector<std::pair<double, double>> blocks;
+      {
+        std::vector<std::pair<double, double>> iv;
+        iv.reserve(srecs.size() + crecs.size());
+        for (const auto* recs : {&srecs, &crecs})
+          for (const auto& r : *recs) iv.emplace_back(r.ymin, r.ymax);
+        std::sort(iv.begin(), iv.end());
+        for (const auto& [lo, hi] : iv) {
+          if (!blocks.empty() && lo <= blocks.back().second)
+            blocks.back().second = std::max(blocks.back().second, hi);
+          else
+            blocks.emplace_back(lo, hi);
+        }
+      }
+      auto closure = [&blocks](double lo, double hi) {
+        auto it = std::lower_bound(
+            blocks.begin(), blocks.end(), lo,
+            [](const std::pair<double, double>& b, double v) {
+              return b.second < v;
+            });
+        double nlo = lo, nhi = hi;
+        if (it != blocks.end() && it->first <= hi)
+          nlo = std::min(nlo, it->first);
+        while (it != blocks.end() && it->first <= hi) {
+          nhi = std::max(nhi, it->second);
+          ++it;
+        }
+        return std::make_pair(nlo, nhi);
+      };
+      std::vector<std::pair<double, double>> slab_range;
+      for (std::size_t t = 0; t < nslabs; ++t) {
+        const auto cl = closure(bounds[t], bounds[t + 1]);
+        if (!slab_range.empty() && slab_range.back() == cl) continue;
+        slab_range.push_back(cl);
+      }
+      slab_subject.resize(slab_range.size());
+      slab_clip_in.resize(slab_range.size());
+      pool.parallel_for(
+          slab_range.size(),
+          [&](std::size_t t) {
+            const double lo = slab_range[t].first, hi = slab_range[t].second;
+            for (const auto& r : srecs)
+              if (r.ymin <= hi && r.ymax >= lo)
+                slab_subject[t].contours.push_back(*r.contour);
+            for (const auto& r : crecs)
+              if (r.ymin <= hi && r.ymax >= lo)
+                slab_clip_in[t].contours.push_back(*r.contour);
+          },
+          /*grain=*/1);
+      need_dedup = true;
+      break;
+    }
+  }
+  const std::size_t nwork = slab_subject.size();
+  const double t_assign = phase_timer.seconds();
+  phase_timer.reset();
+
+  // ---- Per-slab sequential clipping, all slabs in parallel. ----
+  struct SlabOut {
+    geom::PolygonSet result;
+    SlabLoad load;
+  };
+  std::vector<SlabOut> outs(nwork);
+  pool.parallel_for(
+      nwork,
+      [&](std::size_t t) {
+        par::WallTimer timer;
+        seq::VattiStats vs;
+        outs[t].result =
+            seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs);
+        outs[t].load.seconds = timer.seconds();
+        outs[t].load.input_edges = static_cast<std::int64_t>(
+            slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
+        outs[t].load.output_vertices = vs.output_vertices;
+      },
+      /*grain=*/1);
+  const double t_clip = phase_timer.seconds();
+  phase_timer.reset();
+
+  // ---- Post-processing: concatenate; drop replicated duplicates. ----
+  geom::PolygonSet merged;
+  for (auto& so : outs)
+    for (auto& c : so.result.contours)
+      merged.contours.push_back(std::move(c));
+  std::int64_t dups = 0;
+  geom::PolygonSet out = need_dedup
+                             ? drop_duplicates(std::move(merged), &dups)
+                             : std::move(merged);
+  const double t_merge = phase_timer.seconds();
+
+  if (stats) {
+    stats->slabs.clear();
+    for (const auto& so : outs) stats->slabs.push_back(so.load);
+    stats->phases.partition = t_events + t_assign;
+    stats->phases.clip = t_clip;
+    stats->phases.merge = t_merge;
+    stats->output_contours = static_cast<std::int64_t>(out.num_contours());
+    stats->duplicates_removed = dups;
+  }
+  return out;
+}
+
+}  // namespace psclip::mt

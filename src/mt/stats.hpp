@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psclip::mt {
+
+/// Per-phase wall-clock seconds for Algorithm 2, matching the breakdown
+/// the paper reports in Fig. 9 (partitioning = Steps 4–5, clipping =
+/// Step 6, merging = Step 8).
+struct PhaseTimes {
+  double partition = 0.0;
+  double clip = 0.0;
+  double merge = 0.0;
+
+  [[nodiscard]] double total() const { return partition + clip + merge; }
+};
+
+/// Per-slab work record, the raw material for the paper's load-imbalance
+/// discussion (Fig. 11).
+struct SlabLoad {
+  double seconds = 0.0;           ///< clip time of this slab
+  std::int64_t input_edges = 0;   ///< edges fed to the sequential clipper
+  std::int64_t output_vertices = 0;
+};
+
+/// Full instrumentation for one Algorithm 2 run.
+struct Alg2Stats {
+  PhaseTimes phases;
+  std::vector<SlabLoad> slabs;
+  std::int64_t output_contours = 0;
+  std::int64_t duplicates_removed = 0;  ///< multiset variant only
+
+  /// max(slab time) / mean(slab time): 1.0 = perfectly balanced.
+  [[nodiscard]] double load_imbalance() const {
+    if (slabs.empty()) return 1.0;
+    double sum = 0.0, mx = 0.0;
+    for (const auto& s : slabs) {
+      sum += s.seconds;
+      if (s.seconds > mx) mx = s.seconds;
+    }
+    const double mean = sum / static_cast<double>(slabs.size());
+    return mean > 0.0 ? mx / mean : 1.0;
+  }
+
+  /// Clip-phase speedup the decomposition would achieve with one core per
+  /// slab: sum(slab time) / max(slab time). Hardware-independent — this
+  /// is the quantity whose *shape* must match the paper's scaling figures
+  /// regardless of how many cores the host actually has.
+  [[nodiscard]] double ideal_speedup() const {
+    if (slabs.empty()) return 1.0;
+    double sum = 0.0, mx = 0.0;
+    for (const auto& s : slabs) {
+      sum += s.seconds;
+      if (s.seconds > mx) mx = s.seconds;
+    }
+    return mx > 0.0 ? sum / mx : 1.0;
+  }
+};
+
+}  // namespace psclip::mt

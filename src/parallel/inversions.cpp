@@ -1,0 +1,165 @@
+#include "parallel/inversions.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "parallel/scan.hpp"
+
+namespace psclip::par {
+namespace {
+
+struct Item {
+  std::int32_t value;
+  std::int32_t pos;  // original index
+};
+
+/// Merge [lo,mid) and [mid,hi) from src into dst. If `out` is non-null,
+/// append discovered inversion pairs (left_pos, right_pos) at *cursor.
+/// Returns the number of inversions in this node.
+std::int64_t merge_node(const Item* src, Item* dst, std::size_t lo,
+                        std::size_t mid, std::size_t hi, InversionPair* out,
+                        std::int64_t* cursor) {
+  std::int64_t inv = 0;
+  std::size_t i = lo, j = mid, k = lo;
+  while (i < mid && j < hi) {
+    if (src[j].value < src[i].value) {
+      // Every remaining left element forms an inversion with src[j].
+      inv += static_cast<std::int64_t>(mid - i);
+      if (out) {
+        for (std::size_t t = i; t < mid; ++t)
+          out[(*cursor)++] = {src[t].pos, src[j].pos};
+      }
+      dst[k++] = src[j++];
+    } else {
+      dst[k++] = src[i++];
+    }
+  }
+  while (i < mid) dst[k++] = src[i++];
+  while (j < hi) dst[k++] = src[j++];
+  return inv;
+}
+
+std::vector<Item> make_items(std::span<const std::int32_t> values) {
+  std::vector<Item> items(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i)
+    items[i] = {values[i], static_cast<std::int32_t>(i)};
+  return items;
+}
+
+/// Bottom-up extended mergesort. Phase 1 (out == nullptr): count only,
+/// filling `node_counts` with one entry per merge node in traversal order.
+/// Phase 2 (out != nullptr): identical traversal, writing pairs at offsets
+/// taken from `node_offsets` (the paper's Sum array).
+std::int64_t run_mergesort(ThreadPool* pool,
+                           std::span<const std::int32_t> values,
+                           std::vector<std::int64_t>* node_counts,
+                           const std::vector<std::int64_t>* node_offsets,
+                           InversionPair* out) {
+  const std::size_t n = values.size();
+  std::vector<Item> a = make_items(values);
+  std::vector<Item> b(n);
+  Item* src = a.data();
+  Item* dst = b.data();
+
+  std::int64_t total = 0;
+  std::size_t node_index = 0;
+  for (std::size_t width = 1; width < n; width *= 2) {
+    const std::size_t nodes = (n + 2 * width - 1) / (2 * width);
+    auto do_node = [&](std::size_t nd) -> std::int64_t {
+      const std::size_t lo = nd * 2 * width;
+      const std::size_t mid = std::min(n, lo + width);
+      const std::size_t hi = std::min(n, lo + 2 * width);
+      std::int64_t cursor = 0;
+      InversionPair* slot = nullptr;
+      if (out) {
+        cursor = (*node_offsets)[node_index + nd];
+        slot = out;
+      }
+      return merge_node(src, dst, lo, mid, hi, slot, &cursor);
+    };
+
+    if (pool && nodes > 1) {
+      std::vector<std::int64_t> level_inv(nodes, 0);
+      pool->parallel_for(nodes, [&](std::size_t nd) {
+        level_inv[nd] = do_node(nd);
+      });
+      for (std::size_t nd = 0; nd < nodes; ++nd) {
+        total += level_inv[nd];
+        if (node_counts) node_counts->push_back(level_inv[nd]);
+      }
+    } else {
+      for (std::size_t nd = 0; nd < nodes; ++nd) {
+        const std::int64_t inv = do_node(nd);
+        total += inv;
+        if (node_counts) node_counts->push_back(inv);
+      }
+    }
+    node_index += nodes;
+    std::swap(src, dst);
+  }
+  return total;
+}
+
+std::vector<InversionPair> report_impl(ThreadPool* pool,
+                                       std::span<const std::int32_t> values) {
+  if (values.size() < 2) return {};
+  // Phase 1: count per merge node (the paper's Cnt array).
+  std::vector<std::int64_t> counts;
+  const std::int64_t total = run_mergesort(pool, values, &counts, nullptr,
+                                           nullptr);
+  // Paper's Sum array: where each node writes its pairs.
+  std::vector<std::int64_t> offsets(counts.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    offsets[i] = acc;
+    acc += counts[i];
+  }
+  // Phase 2: repeat the merges, reporting into preallocated slots.
+  std::vector<InversionPair> out(static_cast<std::size_t>(total));
+  run_mergesort(pool, values, nullptr, &offsets, out.data());
+  return out;
+}
+
+}  // namespace
+
+std::int64_t count_inversions(std::span<const std::int32_t> values) {
+  if (values.size() < 2) return 0;
+  return run_mergesort(nullptr, values, nullptr, nullptr, nullptr);
+}
+
+std::int64_t count_inversions(ThreadPool& pool,
+                              std::span<const std::int32_t> values) {
+  if (values.size() < 2) return 0;
+  return run_mergesort(&pool, values, nullptr, nullptr, nullptr);
+}
+
+std::vector<InversionPair> report_inversions(
+    std::span<const std::int32_t> values) {
+  return report_impl(nullptr, values);
+}
+
+std::vector<InversionPair> report_inversions(
+    ThreadPool& pool, std::span<const std::int32_t> values) {
+  return report_impl(&pool, values);
+}
+
+MergeTrace merge_with_inversions(std::span<const std::int32_t> left,
+                                 std::span<const std::int32_t> right) {
+  MergeTrace tr;
+  tr.merged.reserve(left.size() + right.size());
+  std::size_t i = 0, j = 0;
+  while (i < left.size() && j < right.size()) {
+    if (right[j] < left[i]) {
+      for (std::size_t t = i; t < left.size(); ++t)
+        tr.inversions.emplace_back(left[t], right[j]);
+      tr.merged.push_back(right[j++]);
+    } else {
+      tr.merged.push_back(left[i++]);
+    }
+  }
+  while (i < left.size()) tr.merged.push_back(left[i++]);
+  while (j < right.size()) tr.merged.push_back(right[j++]);
+  return tr;
+}
+
+}  // namespace psclip::par

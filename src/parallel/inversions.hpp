@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::par {
+
+/// Inversion machinery (paper Lemma 4 and Table I).
+///
+/// Within a scanbeam, edges sorted by x on the lower scanline acquire a
+/// permutation of ranks on the upper scanline; each *inversion* of that
+/// permutation is exactly one pairwise edge crossing inside the beam.
+/// The paper extends Cole's pipelined mergesort to (a) count inversions in
+/// O(log n) PRAM time and (b) report them output-sensitively after
+/// allocating K extra processors. This module is the multicore
+/// realization: a bottom-up mergesort that counts per merge-node, an
+/// exclusive scan over node counts (the paper's Cnt/Sum arrays), and a
+/// second merge pass that writes each inversion into its preallocated slot.
+
+/// A reported inversion: pair of *original positions* (p, q) with p < q and
+/// values[p] > values[q]. For scanbeam edges in bottom-scanline order this
+/// is precisely the pair of edges that cross inside the beam.
+using InversionPair = std::pair<std::int32_t, std::int32_t>;
+
+/// Count inversions of `values` sequentially in O(n log n).
+std::int64_t count_inversions(std::span<const std::int32_t> values);
+
+/// Count inversions using the pool (merge nodes of one level in parallel).
+std::int64_t count_inversions(ThreadPool& pool,
+                              std::span<const std::int32_t> values);
+
+/// Report all inversions via the two-phase count-then-fill pattern.
+/// Output order groups pairs by the merge node that discovered them
+/// (deterministic but not sorted). O(n log n + K).
+std::vector<InversionPair> report_inversions(
+    std::span<const std::int32_t> values);
+
+/// Parallel report: same two-phase structure with merge nodes of one level
+/// processed in parallel and slots assigned by a prefix sum over node
+/// counts.
+std::vector<InversionPair> report_inversions(
+    ThreadPool& pool, std::span<const std::int32_t> values);
+
+/// One merge step of the extended mergesort, exposed for the Table I
+/// reproduction: merges two sorted lists and returns the inversions as
+/// *value* pairs (a_value, b_value) in discovery order, mirroring the
+/// table's "(7,1), (7,2), ..." notation.
+struct MergeTrace {
+  std::vector<std::int32_t> merged;
+  std::vector<std::pair<std::int32_t, std::int32_t>> inversions;
+};
+MergeTrace merge_with_inversions(std::span<const std::int32_t> left,
+                                 std::span<const std::int32_t> right);
+
+}  // namespace psclip::par

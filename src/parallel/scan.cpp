@@ -1,0 +1,80 @@
+#include "parallel/scan.hpp"
+
+#include <numeric>
+
+namespace psclip::par {
+
+void inclusive_scan_seq(std::span<const std::int64_t> in,
+                        std::span<std::int64_t> out) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    acc += in[i];
+    out[i] = acc;
+  }
+}
+
+std::int64_t exclusive_scan_seq(std::span<const std::int64_t> in,
+                                std::span<std::int64_t> out) {
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    const std::int64_t v = in[i];  // read before write: allows aliasing
+    out[i] = acc;
+    acc += v;
+  }
+  return acc;
+}
+
+void inclusive_scan(ThreadPool& pool, std::span<const std::int64_t> in,
+                    std::span<std::int64_t> out) {
+  const std::size_t n = in.size();
+  if (n < 4096 || pool.size() == 1) {
+    inclusive_scan_seq(in, out);
+    return;
+  }
+  std::vector<std::int64_t> block_total(pool.size(), 0);
+  // Pass 1: block-local inclusive scans.
+  pool.parallel_blocks(n, [&](unsigned b, std::size_t begin, std::size_t end) {
+    std::int64_t acc = 0;
+    for (std::size_t i = begin; i < end; ++i) {
+      acc += in[i];
+      out[i] = acc;
+    }
+    block_total[b] = acc;
+  });
+  // Scan of block totals (tiny, sequential).
+  std::int64_t acc = 0;
+  for (auto& t : block_total) {
+    const std::int64_t v = t;
+    t = acc;
+    acc += v;
+  }
+  // Pass 2: add block prefix back.
+  pool.parallel_blocks(n, [&](unsigned b, std::size_t begin, std::size_t end) {
+    const std::int64_t add = block_total[b];
+    if (add == 0) return;
+    for (std::size_t i = begin; i < end; ++i) out[i] += add;
+  });
+}
+
+std::int64_t exclusive_scan(ThreadPool& pool,
+                            std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out) {
+  const std::size_t n = in.size();
+  if (n == 0) return 0;
+  inclusive_scan(pool, in, out);
+  const std::int64_t total = out[n - 1];
+  // Shift right by one. Walk backwards so `out` may alias `in`.
+  for (std::size_t i = n - 1; i > 0; --i) out[i] = out[i - 1];
+  out[0] = 0;
+  return total;
+}
+
+Allocation allocate_from_counts(ThreadPool& pool,
+                                std::span<const std::int64_t> counts) {
+  Allocation a;
+  a.offsets.resize(counts.size());
+  a.total = exclusive_scan(pool, counts, a.offsets);
+  return a;
+}
+
+}  // namespace psclip::par

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::par {
+
+/// Sequential inclusive prefix sum: out[i] = in[0] + ... + in[i].
+/// `out` may alias `in`.
+void inclusive_scan_seq(std::span<const std::int64_t> in,
+                        std::span<std::int64_t> out);
+
+/// Sequential exclusive prefix sum: out[i] = in[0] + ... + in[i-1], out[0]=0.
+/// Returns the grand total. `out` may alias `in`.
+std::int64_t exclusive_scan_seq(std::span<const std::int64_t> in,
+                                std::span<std::int64_t> out);
+
+/// Parallel inclusive prefix sum — the blocked two-pass algorithm
+/// (block-local scans, scan of block totals, add-back). This is the
+/// multicore realization of the PRAM prefix-sum primitive that Lemma 3's
+/// parity test and the output-sensitive processor allocation both rest on.
+void inclusive_scan(ThreadPool& pool, std::span<const std::int64_t> in,
+                    std::span<std::int64_t> out);
+
+/// Parallel exclusive prefix sum; returns the grand total.
+std::int64_t exclusive_scan(ThreadPool& pool,
+                            std::span<const std::int64_t> in,
+                            std::span<std::int64_t> out);
+
+/// Output-sensitive two-phase allocation helper: given per-item output
+/// counts, returns the offset array (exclusive scan) and total size —
+/// exactly the paper's "count, allocate processors, then report" pattern
+/// (§III-E Step 2, Lemma 4).
+struct Allocation {
+  std::vector<std::int64_t> offsets;  ///< offsets[i] = start slot of item i
+  std::int64_t total = 0;             ///< sum of all counts
+};
+Allocation allocate_from_counts(ThreadPool& pool,
+                                std::span<const std::int64_t> counts);
+
+}  // namespace psclip::par

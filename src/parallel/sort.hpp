@@ -1,0 +1,59 @@
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::par {
+
+/// Parallel stable mergesort.
+///
+/// This is the practical multicore counterpart of Cole's pipelined
+/// mergesort used by the paper's PRAM analysis (§III-E Step 1): blocks are
+/// sorted independently, then merged pairwise level by level, giving
+/// O((n log n)/p + log p * n/p) work per thread. Stability matters for the
+/// scanbeam machinery, where ties are broken by prior order.
+template <typename T, typename Compare = std::less<T>>
+void parallel_sort(ThreadPool& pool, std::vector<T>& data,
+                   Compare cmp = Compare{}) {
+  const std::size_t n = data.size();
+  const unsigned threads = pool.size();
+  if (n < 4096 || threads == 1) {
+    std::stable_sort(data.begin(), data.end(), cmp);
+    return;
+  }
+
+  // Round block count down to a power of two so the merge tree is complete.
+  unsigned blocks = 1;
+  while (blocks * 2 <= threads) blocks *= 2;
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+
+  std::vector<std::size_t> bounds(blocks + 1);
+  for (unsigned b = 0; b <= blocks; ++b)
+    bounds[b] = std::min<std::size_t>(n, b * chunk);
+
+  pool.parallel_for(blocks, [&](std::size_t b) {
+    std::stable_sort(data.begin() + bounds[b], data.begin() + bounds[b + 1],
+                     cmp);
+  });
+
+  std::vector<T> buf(n);
+  T* src = data.data();
+  T* dst = buf.data();
+  for (unsigned width = 1; width < blocks; width *= 2) {
+    const unsigned pairs = blocks / (2 * width);
+    pool.parallel_for(pairs, [&](std::size_t pidx) {
+      const std::size_t lo = bounds[pidx * 2 * width];
+      const std::size_t mid = bounds[pidx * 2 * width + width];
+      const std::size_t hi = bounds[pidx * 2 * width + 2 * width];
+      std::merge(src + lo, src + mid, src + mid, src + hi, dst + lo, cmp);
+    });
+    std::swap(src, dst);
+  }
+  if (src != data.data())
+    std::copy(src, src + n, data.data());
+}
+
+}  // namespace psclip::par

@@ -1,0 +1,124 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace psclip::par {
+
+ThreadPool::ThreadPool(unsigned threads) {
+  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  num_threads_ = threads;
+  // The caller participates in parallel_for, so spawn size()-1 workers for
+  // batch work plus enough to serve submit()-style tasks; we keep it simple
+  // with size() dedicated workers (idle workers cost nothing measurable).
+  workers_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lk(mu_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lk(mu_);
+      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lk(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lk(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lk(mu_);
+  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (n == 0) return;
+  grain = std::max<std::size_t>(grain, 1);
+  if (num_threads_ == 1 || n <= grain) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  auto pending = std::make_shared<std::atomic<unsigned>>(0);
+  auto error = std::make_shared<std::atomic<bool>>(false);
+  auto eptr = std::make_shared<std::exception_ptr>();
+  auto eptr_mu = std::make_shared<std::mutex>();
+
+  auto drive = [next, pending, error, eptr, eptr_mu, n, grain, &body] {
+    try {
+      for (;;) {
+        const std::size_t begin = next->fetch_add(grain);
+        if (begin >= n || error->load(std::memory_order_relaxed)) break;
+        const std::size_t end = std::min(n, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) body(i);
+      }
+    } catch (...) {
+      std::lock_guard lk(*eptr_mu);
+      if (!error->exchange(true)) *eptr = std::current_exception();
+    }
+    pending->fetch_sub(1, std::memory_order_acq_rel);
+  };
+
+  const unsigned helpers = std::min<std::size_t>(num_threads_ - 1,
+                                                 (n + grain - 1) / grain);
+  pending->store(helpers + 1);
+  for (unsigned i = 0; i < helpers; ++i) submit(drive);
+  drive();  // caller participates
+  while (pending->load(std::memory_order_acquire) != 0)
+    std::this_thread::yield();
+  if (error->load() && *eptr) std::rethrow_exception(*eptr);
+}
+
+void ThreadPool::parallel_blocks(
+    std::size_t n, const std::function<void(unsigned, std::size_t,
+                                            std::size_t)>& body) {
+  if (n == 0) return;
+  const unsigned blocks =
+      static_cast<unsigned>(std::min<std::size_t>(num_threads_, n));
+  const std::size_t chunk = (n + blocks - 1) / blocks;
+  parallel_for(
+      blocks,
+      [&](std::size_t b) {
+        const std::size_t begin = b * chunk;
+        const std::size_t end = std::min(n, begin + chunk);
+        if (begin < end) body(static_cast<unsigned>(b), begin, end);
+      },
+      /*grain=*/1);
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace psclip::par

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace psclip::par {
+
+/// Fixed-size worker pool. This is the library's stand-in for the paper's
+/// PRAM processor set: "allocate p processors" maps to "run p-way
+/// parallel_for on the pool". Workers are started once and reused, so
+/// per-call overhead is one lock + wakeup per task batch.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of workers (>= 1). The calling thread also participates in
+  /// parallel_for, so the effective parallelism is size().
+  [[nodiscard]] unsigned size() const { return num_threads_; }
+
+  /// Run `body(i)` for every i in [0, n). Work is distributed dynamically
+  /// in chunks of `grain` indices, so irregular per-item cost (the norm for
+  /// polygon workloads, cf. Fig. 11) still balances. Blocks until done.
+  /// Exceptions from `body` propagate to the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
+
+  /// Run `body(begin, end)` over [0, n) split into size()-many nearly equal
+  /// contiguous blocks — the static decomposition used where block identity
+  /// matters (e.g. the blocked prefix sum). Blocks until done.
+  void parallel_blocks(
+      std::size_t n,
+      const std::function<void(unsigned block, std::size_t begin,
+                               std::size_t end)>& body);
+
+  /// Enqueue one fire-and-forget task (used by the recursive parallel
+  /// mergesort). Caller synchronizes through wait_idle or its own latch.
+  void submit(std::function<void()> task);
+
+  /// Block until the queue is empty and all workers are idle.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  unsigned num_threads_;
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t active_ = 0;
+  bool stop_ = false;
+};
+
+/// Process-wide default pool (lazily constructed with hardware
+/// concurrency). Most library entry points take an explicit thread count
+/// and build their own decomposition; the default pool serves primitives
+/// that want parallelism without plumbing a pool through every call.
+ThreadPool& default_pool();
+
+}  // namespace psclip::par

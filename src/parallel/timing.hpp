@@ -1,0 +1,27 @@
+#pragma once
+
+#include <chrono>
+
+namespace psclip::par {
+
+/// Monotonic wall-clock stopwatch used by the benchmark harness and the
+/// per-phase instrumentation in Algorithm 2 (Figs. 9 and 11).
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace psclip::par

@@ -1,0 +1,75 @@
+#pragma once
+
+/// psclip — output-sensitive parallel polygon clipping.
+///
+/// Umbrella header: include this to get the whole public API. The library
+/// reproduces Puri & Prasad, "Output-Sensitive Parallel Algorithm for
+/// Polygon Clipping" (ICPP 2014); see README.md and DESIGN.md.
+///
+/// Quick map:
+///   psclip::clip(a, b, op [, engine])   one-call facade (below)
+///   seq::vatti_clip                     sequential scanline clipper
+///   seq::martinez_clip                  independent x-sweep clipper
+///   core::scanbeam_clip                 the paper's parallel Algorithm 1
+///   mt::slab_clip / mt::multiset_clip   the paper's Algorithm 2
+
+#include "core/algorithm1.hpp"
+#include "geom/area_oracle.hpp"
+#include "geom/bool_op.hpp"
+#include "geom/geojson.hpp"
+#include "geom/nesting.hpp"
+#include "geom/perturb.hpp"
+#include "geom/point_in_polygon.hpp"
+#include "geom/polygon.hpp"
+#include "geom/svg.hpp"
+#include "geom/validate.hpp"
+#include "geom/wkt.hpp"
+#include "mt/algorithm2.hpp"
+#include "mt/multiset.hpp"
+#include "parallel/thread_pool.hpp"
+#include "seq/greiner_hormann.hpp"
+#include "seq/liang_barsky.hpp"
+#include "seq/martinez.hpp"
+#include "seq/rect_clip.hpp"
+#include "seq/sutherland_hodgman.hpp"
+#include "seq/vatti.hpp"
+
+namespace psclip {
+
+/// Which implementation the clip() facade dispatches to.
+enum class Engine {
+  kAuto,       ///< sequential for small inputs, Algorithm 2 for large ones
+  kVatti,      ///< sequential scanline clipper
+  kMartinez,   ///< sequential x-sweep clipper
+  kScanbeam,   ///< parallel Algorithm 1 (paper's PRAM algorithm)
+  kSlab,       ///< parallel Algorithm 2 (paper's practical algorithm)
+};
+
+/// One-call general polygon clipping. Even-odd semantics, arbitrary
+/// inputs (see README "Semantics and contract"). Parallel engines use the
+/// process-wide default thread pool.
+inline geom::PolygonSet clip(const geom::PolygonSet& subject,
+                             const geom::PolygonSet& clip_poly,
+                             geom::BoolOp op, Engine engine = Engine::kAuto) {
+  switch (engine) {
+    case Engine::kVatti:
+      return seq::vatti_clip(subject, clip_poly, op);
+    case Engine::kMartinez:
+      return seq::martinez_clip(subject, clip_poly, op);
+    case Engine::kScanbeam:
+      return core::scanbeam_clip(subject, clip_poly, op,
+                                 par::default_pool());
+    case Engine::kSlab:
+      return mt::slab_clip(subject, clip_poly, op, par::default_pool());
+    case Engine::kAuto:
+      break;
+  }
+  // Heuristic: the parallel decomposition pays off once the input is big
+  // enough to amortize partitioning (cf. bench_fig8).
+  const std::size_t n = subject.num_vertices() + clip_poly.num_vertices();
+  if (n >= 20000 && par::default_pool().size() > 1)
+    return mt::slab_clip(subject, clip_poly, op, par::default_pool());
+  return seq::vatti_clip(subject, clip_poly, op);
+}
+
+}  // namespace psclip

@@ -1,0 +1,185 @@
+#include "segtree/segment_tree.hpp"
+
+#include <algorithm>
+#include <atomic>
+
+namespace psclip::segtree {
+
+SegmentTree::SegmentTree(std::vector<double> breakpoints)
+    : breaks_(std::move(breakpoints)) {
+  std::sort(breaks_.begin(), breaks_.end());
+  breaks_.erase(std::unique(breaks_.begin(), breaks_.end()), breaks_.end());
+  m_ = breaks_.size() >= 2 ? breaks_.size() - 1 : 0;
+  leaves_ = 1;
+  while (leaves_ < std::max<std::size_t>(m_, 1)) leaves_ *= 2;
+  cover_.resize(2 * leaves_);
+  cover_size_.assign(2 * leaves_, 0);
+}
+
+std::size_t SegmentTree::locate(double y) const {
+  if (m_ == 0) return 0;
+  // First breakpoint strictly greater than y, minus one.
+  auto it = std::upper_bound(breaks_.begin(), breaks_.end(), y);
+  if (it == breaks_.begin()) return 0;
+  std::size_t iv = static_cast<std::size_t>(it - breaks_.begin()) - 1;
+  return std::min(iv, m_ - 1);
+}
+
+void SegmentTree::canonical_nodes(std::size_t lo, std::size_t hi,
+                                  std::vector<std::size_t>& out) const {
+  // Iterative bottom-up canonical decomposition over [lo, hi] inclusive.
+  std::size_t l = lo + leaves_;
+  std::size_t r = hi + leaves_ + 1;  // exclusive
+  while (l < r) {
+    if (l & 1) out.push_back(l++);
+    if (r & 1) out.push_back(--r);
+    l >>= 1;
+    r >>= 1;
+  }
+}
+
+void SegmentTree::insert(std::int32_t id, std::size_t lo_iv,
+                         std::size_t hi_iv) {
+  if (m_ == 0 || lo_iv > hi_iv) return;
+  hi_iv = std::min(hi_iv, m_ - 1);
+  std::vector<std::size_t> nodes;
+  canonical_nodes(lo_iv, hi_iv, nodes);
+  for (std::size_t v : nodes) {
+    cover_[v].push_back(id);
+    ++cover_size_[v];
+  }
+}
+
+void SegmentTree::insert_range(std::int32_t id, double ylo, double yhi) {
+  if (m_ == 0) return;
+  if (yhi < ylo) std::swap(ylo, yhi);
+  if (yhi <= breaks_.front() || ylo >= breaks_.back()) return;
+  // First covered interval: the one containing ylo (an item overlapping a
+  // partial interval still spans the scanbeam slice it intersects; for
+  // vertex-aligned polygon edges ylo is itself a breakpoint).
+  const std::size_t lo_iv = locate(std::max(ylo, breaks_.front()));
+  // Last covered interval: the last one starting strictly below yhi.
+  auto hi_it = std::lower_bound(breaks_.begin(), breaks_.end(), yhi);
+  const std::size_t hi_excl =
+      static_cast<std::size_t>(hi_it - breaks_.begin());
+  if (hi_excl == 0) return;
+  const std::size_t hi_iv = std::min(hi_excl - 1, m_ - 1);
+  if (lo_iv > hi_iv) return;
+  insert(id, lo_iv, hi_iv);
+}
+
+SegmentTree SegmentTree::build(
+    par::ThreadPool& pool, std::vector<double> breakpoints,
+    std::span<const std::pair<double, double>> ranges) {
+  SegmentTree t(std::move(breakpoints));
+  if (t.m_ == 0) return t;
+
+  // Phase 1: per-node counts via atomics (the PRAM "count" phase).
+  const std::size_t num_nodes = 2 * t.leaves_;
+  std::vector<std::atomic<std::int64_t>> counts(num_nodes);
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+
+  auto canonical_of = [&t](double ylo, double yhi,
+                           std::vector<std::size_t>& nodes) {
+    nodes.clear();
+    if (yhi < ylo) std::swap(ylo, yhi);
+    if (yhi <= t.breaks_.front() || ylo >= t.breaks_.back()) return;
+    const std::size_t lo_iv = t.locate(std::max(ylo, t.breaks_.front()));
+    // Last interval whose start is strictly below yhi:
+    auto hi_it =
+        std::lower_bound(t.breaks_.begin(), t.breaks_.end(), yhi);
+    std::size_t hi_excl = static_cast<std::size_t>(hi_it - t.breaks_.begin());
+    if (hi_excl == 0) return;
+    const std::size_t hi_iv = std::min(hi_excl - 1, t.m_ - 1);
+    if (lo_iv > hi_iv) return;
+    t.canonical_nodes(lo_iv, hi_iv, nodes);
+  };
+
+  pool.parallel_for(
+      ranges.size(),
+      [&](std::size_t i) {
+        thread_local std::vector<std::size_t> nodes;
+        canonical_of(ranges[i].first, ranges[i].second, nodes);
+        for (std::size_t v : nodes)
+          counts[v].fetch_add(1, std::memory_order_relaxed);
+      },
+      /*grain=*/256);
+
+  // Allocate cover lists.
+  pool.parallel_for(
+      num_nodes,
+      [&](std::size_t v) {
+        const auto c = counts[v].load(std::memory_order_relaxed);
+        t.cover_[v].resize(static_cast<std::size_t>(c));
+        t.cover_size_[v] = c;
+        counts[v].store(0, std::memory_order_relaxed);  // reuse as cursor
+      },
+      /*grain=*/1024);
+
+  // Phase 2: report ids into their slots.
+  pool.parallel_for(
+      ranges.size(),
+      [&](std::size_t i) {
+        thread_local std::vector<std::size_t> nodes;
+        canonical_of(ranges[i].first, ranges[i].second, nodes);
+        for (std::size_t v : nodes) {
+          const auto slot = counts[v].fetch_add(1, std::memory_order_relaxed);
+          t.cover_[v][static_cast<std::size_t>(slot)] =
+              static_cast<std::int32_t>(i);
+        }
+      },
+      /*grain=*/256);
+
+  return t;
+}
+
+std::int64_t SegmentTree::stab_count(std::size_t iv) const {
+  if (iv >= m_) return 0;
+  std::int64_t total = 0;
+  for (std::size_t v = iv + leaves_; v >= 1; v >>= 1) total += cover_size_[v];
+  return total;
+}
+
+void SegmentTree::stab(std::size_t iv, std::vector<std::int32_t>& out) const {
+  if (iv >= m_) return;
+  for (std::size_t v = iv + leaves_; v >= 1; v >>= 1)
+    out.insert(out.end(), cover_[v].begin(), cover_[v].end());
+}
+
+SegmentTree::StabAll SegmentTree::stab_all(par::ThreadPool& pool) const {
+  StabAll res;
+  res.offsets.assign(m_ + 1, 0);
+  if (m_ == 0) return res;
+
+  // Counting phase: per-interval totals from node sizes only.
+  pool.parallel_for(
+      m_, [&](std::size_t iv) { res.offsets[iv + 1] = stab_count(iv); },
+      /*grain=*/512);
+  for (std::size_t i = 1; i <= m_; ++i) res.offsets[i] += res.offsets[i - 1];
+
+  // Reporting phase into preallocated slots.
+  res.ids.resize(static_cast<std::size_t>(res.offsets[m_]));
+  pool.parallel_for(
+      m_,
+      [&](std::size_t iv) {
+        std::size_t w = static_cast<std::size_t>(res.offsets[iv]);
+        for (std::size_t v = iv + leaves_; v >= 1; v >>= 1)
+          for (std::int32_t id : cover_[v]) res.ids[w++] = id;
+      },
+      /*grain=*/512);
+  return res;
+}
+
+std::int64_t SegmentTree::total_cover_size() const {
+  std::int64_t total = 0;
+  for (auto s : cover_size_) total += s;
+  return total;
+}
+
+unsigned SegmentTree::height() const {
+  unsigned h = 0;
+  for (std::size_t v = leaves_; v > 1; v >>= 1) ++h;
+  return h + 1;
+}
+
+}  // namespace psclip::segtree

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::segtree {
+
+/// Cover-list segment tree over the elementary intervals induced by a
+/// sorted breakpoint sequence (paper §II-C, Fig. 1). Interval i is
+/// [breakpoints[i], breakpoints[i+1]); an inserted item covering a y-range
+/// lands on the O(log m) canonical nodes whose ranges it spans but whose
+/// parents it does not.
+///
+/// Beyond the textbook structure, every node also stores the *size* of its
+/// cover list, which lets Step 2 of the paper's Algorithm 1 count the edges
+/// of a scanbeam in O(log m) without touching the lists — the prerequisite
+/// for output-sensitive processor allocation (§III-E).
+class SegmentTree {
+ public:
+  /// `breakpoints` must be sorted and contain at least 2 distinct values;
+  /// duplicates are removed. m = breakpoints.size() - 1 elementary
+  /// intervals result.
+  explicit SegmentTree(std::vector<double> breakpoints);
+
+  /// Number of elementary intervals m.
+  [[nodiscard]] std::size_t num_intervals() const { return m_; }
+
+  /// Index of the elementary interval containing y
+  /// (clamped to [0, m-1]; y below/above the range maps to the ends).
+  [[nodiscard]] std::size_t locate(double y) const;
+
+  /// Insert item `id` covering elementary intervals [lo_iv, hi_iv]
+  /// (inclusive). Sequential variant.
+  void insert(std::int32_t id, std::size_t lo_iv, std::size_t hi_iv);
+
+  /// Insert item `id` covering the y-range [ylo, yhi]. Ranges that do not
+  /// overlap any elementary interval are ignored.
+  void insert_range(std::int32_t id, double ylo, double yhi);
+
+  /// Parallel bulk construction: builds the tree and inserts every range in
+  /// `ranges` (item id = position) using the two-phase count/fill pattern
+  /// with one atomic cursor per node.
+  static SegmentTree build(par::ThreadPool& pool,
+                           std::vector<double> breakpoints,
+                           std::span<const std::pair<double, double>> ranges);
+
+  /// Number of items covering elementary interval `iv` — O(log m), reads
+  /// per-node cover sizes only (the paper's counting phase).
+  [[nodiscard]] std::int64_t stab_count(std::size_t iv) const;
+
+  /// Append the ids of all items covering interval `iv` to `out`
+  /// (O(log m + answer), the reporting phase).
+  void stab(std::size_t iv, std::vector<std::int32_t>& out) const;
+
+  /// Batched stab for every elementary interval, in parallel: CSR layout
+  /// with `offsets[iv] .. offsets[iv+1]` indexing into `ids`. This is the
+  /// paper's Step 2: count per scanbeam, prefix-sum, allocate, report.
+  struct StabAll {
+    std::vector<std::int64_t> offsets;  // size m+1
+    std::vector<std::int32_t> ids;      // size k' (total reported edges)
+  };
+  [[nodiscard]] StabAll stab_all(par::ThreadPool& pool) const;
+
+  /// Total cover-list entries (== k' when items are polygon edges).
+  [[nodiscard]] std::int64_t total_cover_size() const;
+
+  /// Tree height (levels from root to leaves), exposed for tests.
+  [[nodiscard]] unsigned height() const;
+
+ private:
+  std::size_t m_ = 0;        // elementary interval count
+  std::size_t leaves_ = 1;   // padded power of two >= m_
+  std::vector<double> breaks_;
+  std::vector<std::vector<std::int32_t>> cover_;  // per node, size 2*leaves_
+  std::vector<std::int64_t> cover_size_;          // |cover_[v]| (kept explicit)
+
+  void canonical_nodes(std::size_t lo, std::size_t hi,
+                       std::vector<std::size_t>& out) const;
+};
+
+}  // namespace psclip::segtree

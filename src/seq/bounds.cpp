@@ -1,0 +1,117 @@
+#include "seq/bounds.hpp"
+
+#include <algorithm>
+
+namespace psclip::seq {
+namespace {
+
+double slope(const geom::Point& bot, const geom::Point& top) {
+  return (top.x - bot.x) / (top.y - bot.y);
+}
+
+}  // namespace
+
+void append_bounds(BoundTable& bt, const geom::PolygonSet& p, bool is_clip) {
+  for (const auto& c : p.contours) {
+    const std::size_t n = c.size();
+    if (n < 3) continue;
+
+    auto at = [&c, n](std::size_t i) -> const geom::Point& {
+      return c[i % n];
+    };
+    auto ascending = [&](std::size_t from) {
+      return at(from + 1).y > at(from).y;
+    };
+
+    // Walk one ascending chain starting with the edge from -> from+1;
+    // returns the index of the first edge and links the chain.
+    auto emit_chain_forward = [&](std::size_t from) -> std::int32_t {
+      std::int32_t first = -1, prev = -1;
+      std::size_t i = from;
+      while (ascending(i)) {
+        BoundEdge e;
+        e.bot = at(i);
+        e.top = at(i + 1);
+        e.dxdy = slope(e.bot, e.top);
+        e.is_clip = is_clip;
+        const auto id = static_cast<std::int32_t>(bt.edges.size());
+        bt.edges.push_back(e);
+        if (prev >= 0) bt.edges[prev].next = id;
+        if (first < 0) first = id;
+        prev = id;
+        i = (i + 1) % n;
+      }
+      return first;
+    };
+    // Same, walking the ring backwards (descending contour edges reversed
+    // into ascending bound edges).
+    auto emit_chain_backward = [&](std::size_t from) -> std::int32_t {
+      std::int32_t first = -1, prev = -1;
+      std::size_t i = from;
+      auto prev_idx = [n](std::size_t k) { return (k + n - 1) % n; };
+      while (at(prev_idx(i)).y > at(i).y) {
+        BoundEdge e;
+        e.bot = at(i);
+        e.top = at(prev_idx(i));
+        e.dxdy = slope(e.bot, e.top);
+        e.is_clip = is_clip;
+        const auto id = static_cast<std::int32_t>(bt.edges.size());
+        bt.edges.push_back(e);
+        if (prev >= 0) bt.edges[prev].next = id;
+        if (first < 0) first = id;
+        prev = id;
+        i = prev_idx(i);
+      }
+      return first;
+    };
+
+    for (std::size_t i = 0; i < n; ++i) {
+      const geom::Point& prev = at(i + n - 1);
+      const geom::Point& cur = at(i);
+      const geom::Point& next = at(i + 1);
+      const bool is_min = prev.y > cur.y && next.y > cur.y;
+      if (!is_min) continue;
+
+      LocalMin lm;
+      lm.pt = cur;
+      const std::int32_t fwd = emit_chain_forward(i);
+      const std::int32_t bwd = emit_chain_backward(i);
+      // Order the two bound heads left/right by slope: going up from the
+      // shared minimum, the edge with smaller dx/dy lies to the left.
+      if (bt.edges[fwd].dxdy <= bt.edges[bwd].dxdy) {
+        lm.edge_left = fwd;
+        lm.edge_right = bwd;
+      } else {
+        lm.edge_left = bwd;
+        lm.edge_right = fwd;
+      }
+      bt.minima.push_back(lm);
+    }
+  }
+}
+
+BoundTable build_bounds(const geom::PolygonSet& subject,
+                        const geom::PolygonSet& clip) {
+  BoundTable bt;
+  append_bounds(bt, subject, /*is_clip=*/false);
+  append_bounds(bt, clip, /*is_clip=*/true);
+  std::sort(bt.minima.begin(), bt.minima.end(),
+            [](const LocalMin& a, const LocalMin& b) {
+              return a.pt.y < b.pt.y || (a.pt.y == b.pt.y && a.pt.x < b.pt.x);
+            });
+  return bt;
+}
+
+std::vector<double> scanbeam_ys(const BoundTable& bt) {
+  std::vector<double> ys;
+  ys.reserve(bt.edges.size() * 2);
+  for (const auto& e : bt.edges) {
+    ys.push_back(e.bot.y);
+    ys.push_back(e.top.y);
+  }
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+  return ys;
+}
+
+}  // namespace psclip::seq

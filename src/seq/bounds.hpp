@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// A polygon edge directed upward (bot.y < top.y). Vatti's algorithm views
+/// every contour as a set of *bounds*: maximal ascending chains of edges
+/// running from a local minimum to a local maximum (§III-A).
+struct BoundEdge {
+  geom::Point bot, top;
+  double dxdy = 0.0;       ///< slope dx/dy (finite: no horizontal edges)
+  bool is_clip = false;    ///< false = subject polygon, true = clip polygon
+  std::int32_t next = -1;  ///< next edge up the same bound; -1 at a local max
+};
+
+/// A local minimum vertex with the first edges of its two ascending bounds.
+/// `edge_left` has the smaller slope dx/dy, i.e. it runs to the left of
+/// `edge_right` immediately above the minimum.
+struct LocalMin {
+  geom::Point pt;
+  std::int32_t edge_left = -1;
+  std::int32_t edge_right = -1;
+};
+
+/// Vatti's "minima table": all edges of both inputs decomposed into bounds,
+/// plus the local minima sorted by (y, x) — the event schedule from which
+/// the active edge table is fed.
+struct BoundTable {
+  std::vector<BoundEdge> edges;
+  std::vector<LocalMin> minima;  ///< sorted by (pt.y, pt.x)
+
+  [[nodiscard]] std::size_t num_edges() const { return edges.size(); }
+};
+
+/// Decompose the contours of `p` into bounds and append them to `bt`.
+/// Precondition: no horizontal edges (run geom::remove_horizontals first)
+/// and every contour has >= 3 vertices. Degenerate contours are skipped.
+void append_bounds(BoundTable& bt, const geom::PolygonSet& p, bool is_clip);
+
+/// Build the full table for a subject/clip pair and sort the minima.
+BoundTable build_bounds(const geom::PolygonSet& subject,
+                        const geom::PolygonSet& clip);
+
+/// Collect the sorted distinct y-coordinates of all edge endpoints — the
+/// scanbeam schedule (paper §III-B: "scanbeam table").
+std::vector<double> scanbeam_ys(const BoundTable& bt);
+
+}  // namespace psclip::seq

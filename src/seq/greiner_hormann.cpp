@@ -1,0 +1,229 @@
+#include "seq/greiner_hormann.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/intersect.hpp"
+#include "geom/point_in_polygon.hpp"
+
+namespace psclip::seq {
+namespace {
+
+using geom::BoolOp;
+using geom::Contour;
+using geom::Point;
+using geom::PolygonSet;
+
+struct Node {
+  Point p;
+  int next = -1, prev = -1;
+  bool intersect = false;
+  int neighbor = -1;  // matching node in the other list
+  bool entry = false;
+  bool visited = false;
+  double alpha = 0.0;  // parametric position along the source edge
+};
+
+/// Builds the circular list for a ring; returns index of the first node.
+int build_ring(std::vector<Node>& nodes, const Contour& c) {
+  const int base = static_cast<int>(nodes.size());
+  const int n = static_cast<int>(c.size());
+  for (int i = 0; i < n; ++i) {
+    Node nd;
+    nd.p = c[static_cast<std::size_t>(i)];
+    nd.next = base + (i + 1) % n;
+    nd.prev = base + (i + n - 1) % n;
+    nodes.push_back(nd);
+  }
+  return base;
+}
+
+/// Insert an intersection node after `from`, keeping alpha order among
+/// consecutive intersection nodes on the same original edge.
+int insert_sorted(std::vector<Node>& nodes, int from, int idx) {
+  int cur = from;
+  while (nodes[nodes[cur].next].intersect &&
+         nodes[nodes[cur].next].alpha < nodes[idx].alpha)
+    cur = nodes[cur].next;
+  const int nxt = nodes[cur].next;
+  nodes[idx].prev = cur;
+  nodes[idx].next = nxt;
+  nodes[cur].next = idx;
+  nodes[nxt].prev = idx;
+  return idx;
+}
+
+double param_along(const Point& a, const Point& b, const Point& p) {
+  const double dx = b.x - a.x, dy = b.y - a.y;
+  return std::fabs(dx) >= std::fabs(dy) ? (p.x - a.x) / dx : (p.y - a.y) / dy;
+}
+
+PolygonSet no_intersection_result(const Contour& subject, const Contour& clip,
+                                  BoolOp op) {
+  PolygonSet out;
+  geom::PolygonSet cs;
+  cs.contours.push_back(clip);
+  geom::PolygonSet ss;
+  ss.contours.push_back(subject);
+  const bool s_in_c = geom::point_in_polygon(subject[0], cs);
+  const bool c_in_s = geom::point_in_polygon(clip[0], ss);
+  switch (op) {
+    case BoolOp::kIntersection:
+      if (s_in_c) out.contours.push_back(subject);
+      else if (c_in_s) out.contours.push_back(clip);
+      break;
+    case BoolOp::kUnion:
+      if (s_in_c) out.contours.push_back(clip);
+      else if (c_in_s) out.contours.push_back(subject);
+      else {
+        out.contours.push_back(subject);
+        out.contours.push_back(clip);
+      }
+      break;
+    case BoolOp::kDifference:
+      if (s_in_c) break;  // subject swallowed
+      out.contours.push_back(subject);
+      if (c_in_s) {
+        Contour hole = clip;
+        hole.hole = true;
+        out.contours.push_back(hole);  // even-odd: clip ring voids interior
+      }
+      break;
+    case BoolOp::kXor:
+      out.contours.push_back(subject);
+      out.contours.push_back(clip);
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+PolygonSet greiner_hormann(const Contour& subject, const Contour& clip,
+                           BoolOp op) {
+  if (op == BoolOp::kXor) {
+    // GH expresses XOR as the disjoint union of the two differences
+    // (their interiors cannot overlap, so concatenation is exact under
+    // the even-odd rule).
+    PolygonSet out = greiner_hormann(subject, clip, BoolOp::kDifference);
+    PolygonSet rev = greiner_hormann(clip, subject, BoolOp::kDifference);
+    for (auto& c : rev.contours) out.contours.push_back(std::move(c));
+    return out;
+  }
+  if (subject.size() < 3) return no_intersection_result(subject, clip, op);
+  if (clip.size() < 3) {
+    PolygonSet out;
+    if (op != BoolOp::kIntersection) out.contours.push_back(subject);
+    return out;
+  }
+
+  std::vector<Node> nodes;
+  nodes.reserve(subject.size() + clip.size() + 16);
+  const int s0 = build_ring(nodes, subject);
+  const int c0 = build_ring(nodes, clip);
+  const int sn = static_cast<int>(subject.size());
+  const int cn = static_cast<int>(clip.size());
+
+  // Phase 1: find proper crossings and link twin nodes into both rings.
+  bool any = false;
+  for (int i = 0; i < sn; ++i) {
+    const Point& a1 = subject[static_cast<std::size_t>(i)];
+    const Point& a2 = subject[static_cast<std::size_t>((i + 1) % sn)];
+    for (int j = 0; j < cn; ++j) {
+      const Point& b1 = clip[static_cast<std::size_t>(j)];
+      const Point& b2 = clip[static_cast<std::size_t>((j + 1) % cn)];
+      const auto x = geom::segment_intersection(a1, a2, b1, b2);
+      if (x.relation != geom::SegmentRelation::kProper) continue;
+      any = true;
+      Node si;
+      si.p = x.point;
+      si.intersect = true;
+      si.alpha = param_along(a1, a2, x.point);
+      Node ci;
+      ci.p = x.point;
+      ci.intersect = true;
+      ci.alpha = param_along(b1, b2, x.point);
+      const int si_idx = static_cast<int>(nodes.size());
+      nodes.push_back(si);
+      const int ci_idx = static_cast<int>(nodes.size());
+      nodes.push_back(ci);
+      nodes[si_idx].neighbor = ci_idx;
+      nodes[ci_idx].neighbor = si_idx;
+      insert_sorted(nodes, s0 + i, si_idx);
+      insert_sorted(nodes, c0 + j, ci_idx);
+    }
+  }
+  if (!any) return no_intersection_result(subject, clip, op);
+
+  // Phase 2: alternate entry/exit flags along each ring. The initial flag
+  // per ring comes from a point-in-polygon test; the boolean operator is
+  // realized by flipping the conventional intersection flags.
+  geom::PolygonSet cs;
+  cs.contours.push_back(clip);
+  geom::PolygonSet ss;
+  ss.contours.push_back(subject);
+  // Entry/exit flag convention (Greiner & Hormann 1998): intersection
+  // flips nothing, union flips both rings, A\B flips the subject ring.
+  const bool flip_s = (op == BoolOp::kUnion || op == BoolOp::kDifference);
+  const bool flip_c = (op == BoolOp::kUnion);
+
+  bool status = !geom::point_in_polygon(subject[0], cs);
+  if (flip_s) status = !status;
+  for (int cur = s0;;) {
+    if (nodes[cur].intersect) {
+      nodes[cur].entry = status;
+      status = !status;
+    }
+    cur = nodes[cur].next;
+    if (cur == s0) break;
+  }
+  status = !geom::point_in_polygon(clip[0], ss);
+  if (flip_c) status = !status;
+  for (int cur = c0;;) {
+    if (nodes[cur].intersect) {
+      nodes[cur].entry = status;
+      status = !status;
+    }
+    cur = nodes[cur].next;
+    if (cur == c0) break;
+  }
+
+  // Phase 3: trace result rings.
+  PolygonSet out;
+  for (std::size_t seed = 0; seed < nodes.size(); ++seed) {
+    if (!nodes[seed].intersect || nodes[seed].visited) continue;
+    Contour ring;
+    int cur = static_cast<int>(seed);
+    do {
+      nodes[cur].visited = true;
+      nodes[nodes[cur].neighbor].visited = true;
+      if (nodes[cur].entry) {
+        do {
+          cur = nodes[cur].next;
+          ring.pts.push_back(nodes[cur].p);
+        } while (!nodes[cur].intersect);
+      } else {
+        do {
+          cur = nodes[cur].prev;
+          ring.pts.push_back(nodes[cur].p);
+        } while (!nodes[cur].intersect);
+      }
+      cur = nodes[cur].neighbor;
+    } while (!nodes[cur].visited);
+    if (ring.pts.size() >= 3) out.contours.push_back(std::move(ring));
+  }
+  return out;
+}
+
+PolygonSet greiner_hormann(const PolygonSet& subject, const Contour& clip,
+                           BoolOp op) {
+  PolygonSet out;
+  for (const auto& c : subject.contours) {
+    PolygonSet part = greiner_hormann(c, clip, op);
+    for (auto& r : part.contours) out.contours.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace psclip::seq

@@ -1,0 +1,27 @@
+#pragma once
+
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Greiner–Hormann clipping of two *simple* contours (paper §IV uses it for
+/// the rectangle-clipping steps of Algorithm 2, having found it faster than
+/// GPC for that job).
+///
+/// Implementation of the classic three-phase algorithm: insert crossing
+/// nodes into both circular vertex lists, mark them alternately entry/exit
+/// starting from a point-in-polygon test, then trace result rings by
+/// switching lists at each crossing. Requires general position (no
+/// vertex-on-edge or overlapping-edge degeneracies; use geom::jitter for
+/// degenerate data) and non-self-intersecting inputs — the limitations that
+/// motivate Vatti's algorithm for the general case.
+geom::PolygonSet greiner_hormann(const geom::Contour& subject,
+                                 const geom::Contour& clip, geom::BoolOp op);
+
+/// Clip every contour of `subject` independently against `clip`
+/// (correct when subject contours are disjoint, e.g. a GIS polygon layer).
+geom::PolygonSet greiner_hormann(const geom::PolygonSet& subject,
+                                 const geom::Contour& clip, geom::BoolOp op);
+
+}  // namespace psclip::seq

@@ -1,0 +1,47 @@
+#include "seq/liang_barsky.hpp"
+
+#include "seq/sutherland_hodgman.hpp"
+
+namespace psclip::seq {
+
+std::optional<std::pair<geom::Point, geom::Point>> liang_barsky_segment(
+    const geom::BBox& rect, const geom::Point& p0, const geom::Point& p1) {
+  const double dx = p1.x - p0.x;
+  const double dy = p1.y - p0.y;
+  double t0 = 0.0, t1 = 1.0;
+
+  // For each boundary: p * t <= q keeps the inside part.
+  const double p[4] = {-dx, dx, -dy, dy};
+  const double q[4] = {p0.x - rect.xmin, rect.xmax - p0.x, p0.y - rect.ymin,
+                       rect.ymax - p0.y};
+  for (int i = 0; i < 4; ++i) {
+    if (p[i] == 0.0) {
+      if (q[i] < 0.0) return std::nullopt;  // parallel and outside
+      continue;
+    }
+    const double r = q[i] / p[i];
+    if (p[i] < 0.0) {
+      if (r > t1) return std::nullopt;
+      if (r > t0) t0 = r;
+    } else {
+      if (r < t0) return std::nullopt;
+      if (r < t1) t1 = r;
+    }
+  }
+  if (t0 > t1) return std::nullopt;
+  return std::make_pair(geom::Point{p0.x + t0 * dx, p0.y + t0 * dy},
+                        geom::Point{p0.x + t1 * dx, p0.y + t1 * dy});
+}
+
+geom::PolygonSet liang_barsky_polygon(const geom::PolygonSet& subject,
+                                      const geom::BBox& rect) {
+  // The polygon variant reduces to four axis-aligned half-plane passes;
+  // we reuse the Sutherland–Hodgman engine on the rectangle ring, which is
+  // exactly the half-plane cascade the Liang–Barsky polygon algorithm
+  // performs with its entry/exit bookkeeping.
+  const geom::Contour r =
+      geom::make_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax);
+  return sutherland_hodgman(subject, r);
+}
+
+}  // namespace psclip::seq

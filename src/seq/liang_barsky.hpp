@@ -1,0 +1,24 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "geom/bbox.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Liang–Barsky parametric segment clipping against an axis-aligned
+/// rectangle (paper §II-B baseline). Returns the clipped sub-segment, or
+/// nullopt if the segment misses the rectangle.
+std::optional<std::pair<geom::Point, geom::Point>> liang_barsky_segment(
+    const geom::BBox& rect, const geom::Point& p0, const geom::Point& p1);
+
+/// Polygon-against-rectangle clipping in the Liang–Barsky family:
+/// each contour is clipped against the four rectangle half-planes with the
+/// parametric entry/exit tests (corner vertices patched in as turning
+/// points). Same output conventions as Sutherland–Hodgman on a rectangle.
+geom::PolygonSet liang_barsky_polygon(const geom::PolygonSet& subject,
+                                      const geom::BBox& rect);
+
+}  // namespace psclip::seq

@@ -1,0 +1,26 @@
+#pragma once
+
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Boolean operations with the Martinez–Rueda–Feito algorithm
+/// (Martinez et al., "A new algorithm for computing Boolean operations on
+/// polygons", Computers & Geosciences 2009): a single left-to-right
+/// Bentley–Ottmann sweep that subdivides edges at intersections, labels
+/// every subdivided edge with in/out flags for both polygons, selects the
+/// edges on the result boundary, and reconnects them into rings.
+///
+/// This is a completely independent algorithm from the Vatti scanline
+/// clipper (different sweep direction, different status structure,
+/// different output assembly); the test suite runs both against each
+/// other and against the trapezoid-sweep area oracle as a three-way
+/// differential. Same region semantics as vatti_clip: even-odd fill,
+/// arbitrary (including self-intersecting) inputs, general position
+/// (vertical edges are perturbed away internally, mirroring what the
+/// scanline clippers do with horizontal ones).
+geom::PolygonSet martinez_clip(const geom::PolygonSet& subject,
+                               const geom::PolygonSet& clip, geom::BoolOp op);
+
+}  // namespace psclip::seq

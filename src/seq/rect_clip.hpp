@@ -1,0 +1,29 @@
+#pragma once
+
+#include "geom/bbox.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Method used for the rectangle-clipping steps of Algorithm 2 (the paper
+/// evaluates Greiner–Hormann against GPC for this job and picks GH as the
+/// faster option; we expose the same choice plus the baselines so it can
+/// be ablated).
+enum class RectClipMethod {
+  kGreinerHormann,     ///< the paper's choice for Steps 4–5
+  kVatti,              ///< general clipper on a rectangle (GPC's role)
+  kSutherlandHodgman,  ///< half-plane cascade (bridged output)
+};
+
+const char* to_string(RectClipMethod m);
+
+/// Clip `subject` to the axis-aligned rectangle.
+///
+/// Contours entirely inside are passed through untouched (common fast path
+/// for slab partitioning), contours entirely outside are dropped, and only
+/// boundary-straddling contours run through the selected clipper.
+geom::PolygonSet rect_clip(const geom::PolygonSet& subject,
+                           const geom::BBox& rect,
+                           RectClipMethod method = RectClipMethod::kGreinerHormann);
+
+}  // namespace psclip::seq

@@ -1,0 +1,58 @@
+#include "seq/sutherland_hodgman.hpp"
+
+#include "geom/intersect.hpp"
+#include "geom/predicates.hpp"
+
+namespace psclip::seq {
+namespace {
+
+/// Clip `input` against the half-plane to the left of a -> b.
+std::vector<geom::Point> clip_halfplane(const std::vector<geom::Point>& input,
+                                        const geom::Point& a,
+                                        const geom::Point& b) {
+  std::vector<geom::Point> out;
+  const std::size_t n = input.size();
+  out.reserve(n + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Point& cur = input[i];
+    const geom::Point& prev = input[(i + n - 1) % n];
+    const bool cur_in = geom::orient2d(a, b, cur) >= 0.0;
+    const bool prev_in = geom::orient2d(a, b, prev) >= 0.0;
+    if (cur_in) {
+      if (!prev_in) out.push_back(geom::line_intersection(a, b, prev, cur));
+      out.push_back(cur);
+    } else if (prev_in) {
+      out.push_back(geom::line_intersection(a, b, prev, cur));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+geom::Contour sutherland_hodgman(const geom::Contour& subject,
+                                 const geom::Contour& convex_clip) {
+  geom::Contour clip = convex_clip;
+  if (geom::signed_area(clip) < 0.0) geom::reverse(clip);
+
+  std::vector<geom::Point> poly = subject.pts;
+  const std::size_t m = clip.size();
+  for (std::size_t j = 0; j < m && !poly.empty(); ++j) {
+    poly = clip_halfplane(poly, clip[j], clip[(j + 1) % m]);
+  }
+  geom::Contour out;
+  out.pts = std::move(poly);
+  return out;
+}
+
+geom::PolygonSet sutherland_hodgman(const geom::PolygonSet& subject,
+                                    const geom::Contour& convex_clip) {
+  geom::PolygonSet out;
+  for (const auto& c : subject.contours) {
+    geom::Contour clipped = sutherland_hodgman(c, convex_clip);
+    if (clipped.size() >= 3) out.contours.push_back(std::move(clipped));
+  }
+  return out;
+}
+
+}  // namespace psclip::seq

@@ -1,0 +1,23 @@
+#pragma once
+
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Sutherland–Hodgman re-entrant clipping (paper §II-B): clips a subject
+/// contour against a *convex* clip contour by successive half-plane cuts.
+///
+/// Classic limitations apply (and motivate Vatti's algorithm): the clip
+/// region must be convex, and a concave subject whose intersection is
+/// disconnected comes back as one contour with zero-width bridges along
+/// the clip boundary. Area and even-odd membership are still exact, which
+/// is what the tests exercise. Orientation of the clip contour is
+/// normalized internally.
+geom::Contour sutherland_hodgman(const geom::Contour& subject,
+                                 const geom::Contour& convex_clip);
+
+/// Clip every contour of `subject` against the convex contour.
+geom::PolygonSet sutherland_hodgman(const geom::PolygonSet& subject,
+                                    const geom::Contour& convex_clip);
+
+}  // namespace psclip::seq

@@ -1,0 +1,356 @@
+// Vatti scanline clipper.
+//
+// Structure follows the paper's description of the sequential algorithm
+// (§III-B): local-minima table -> scanbeam schedule -> active edge table
+// (AET) maintained bottom-to-top. Within a scanbeam, intersections are
+// discovered by re-sorting the AET by x at the top scanline; every adjacent
+// transposition performed by the insertion sort is exactly one edge
+// crossing (the paper's inversion insight, Lemma 4), processed in a valid
+// order precisely because only currently-adjacent edges ever swap.
+//
+// Vertex emission is derived from one uniform rule instead of Vatti's
+// 16-way vertex classification: at any event point, evaluate in/out of the
+// boolean result for the sectors around the point (from the even-odd parity
+// flags carried by each AET entry, cf. Lemma 1-3); every maximal interior
+// run of sectors is bounded by two contributing half-edges, which connect
+// through the point — below+below closes a contour, above+above starts one,
+// below+above continues one.
+
+#include "seq/vatti.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/intersect.hpp"
+#include "geom/perturb.hpp"
+#include "seq/bounds.hpp"
+#include "seq/out_poly.hpp"
+#include "seq/sweep_events.hpp"
+
+namespace psclip::seq {
+namespace {
+
+using geom::BoolOp;
+using geom::Point;
+using geom::PolygonSet;
+
+/// One AET entry: the shared sweep-status fields plus the beam-local
+/// x positions used for ordering.
+struct Active : SweepEntry {
+  double xb = 0.0;  // x on the current beam's bottom scanline
+  double xt = 0.0;  // x on the current beam's top scanline
+};
+
+class Sweep {
+ public:
+  Sweep(const BoundTable& bt, BoolOp op) : bt_(bt), op_(op) {}
+
+  PolygonSet run(VattiStats* stats) {
+    const std::vector<double> ys = scanbeam_ys(bt_);
+    std::size_t next_min = 0;
+    for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+      const double yb = ys[i];
+      const double yt = ys[i + 1];
+      insert_minima(yb, next_min);
+      if (validate_) validate_flags(yb, "after-minima");
+      process_intersections(yt);
+      process_top(yt);
+      for (auto& a : aet_) a.xb = a.xt;
+      if (validate_) validate_flags(yt, "after-beam");
+      if (stats) {
+        ++stats->scanbeams;
+        stats->max_aet = std::max<std::int64_t>(
+            stats->max_aet, static_cast<std::int64_t>(aet_.size()));
+      }
+    }
+    if (stats) {
+      stats->edges = static_cast<std::int64_t>(bt_.num_edges());
+      stats->intersections = intersections_;
+    }
+    PolygonSet out = pool_.harvest();
+    if (stats)
+      stats->output_vertices =
+          static_cast<std::int64_t>(out.num_vertices());
+    return out;
+  }
+
+ private:
+  const BoundTable& bt_;
+  BoolOp op_;
+  std::vector<Active> aet_;
+  OutPolyPool pool_;
+  std::int64_t intersections_ = 0;
+  bool validate_ = std::getenv("PSCLIP_VALIDATE") != nullptr;
+
+  /// Debug self-check (enable with PSCLIP_VALIDATE=1): parity flags of
+  /// every AET entry must equal the accumulated flips of the entries to
+  /// its left, and the AET must be x-ordered at the given scanline.
+  void validate_flags(double y, const char* where) {
+    bool s = false, c = false;
+    for (std::size_t i = 0; i < aet_.size(); ++i) {
+      const Active& a = aet_[i];
+      if (a.left_s != s || a.left_c != c) {
+        std::fprintf(stderr,
+                     "[psclip] flag mismatch %s y=%.17g idx=%zu "
+                     "have=(%d,%d) want=(%d,%d)\n",
+                     where, y, i, (int)a.left_s, (int)a.left_c, (int)s,
+                     (int)c);
+      }
+      s ^= flip_s(a);
+      c ^= flip_c(a);
+    }
+    for (std::size_t i = 1; i < aet_.size(); ++i) {
+      const BoundEdge& ep = edge(aet_[i - 1]);
+      const BoundEdge& ec = edge(aet_[i]);
+      const double xp = ep.top.y == y ? ep.top.x : geom::x_at_y(ep.bot, ep.top, y);
+      const double xc = ec.top.y == y ? ec.top.x : geom::x_at_y(ec.bot, ec.top, y);
+      if (xc < xp - 1e-12)
+        std::fprintf(stderr,
+                     "[psclip] order violation %s y=%.17g idx=%zu "
+                     "x[%zu]=%.17g > x[%zu]=%.17g\n",
+                     where, y, i, i - 1, xp, i, xc);
+    }
+  }
+
+  [[nodiscard]] const BoundEdge& edge(const Active& a) const {
+    return bt_.edges[static_cast<std::size_t>(a.e)];
+  }
+  [[nodiscard]] bool flip_s(const Active& a) const { return !edge(a).is_clip; }
+  [[nodiscard]] bool flip_c(const Active& a) const { return edge(a).is_clip; }
+  [[nodiscard]] bool res(bool s, bool c) const {
+    return geom::in_result(s, c, op_);
+  }
+
+  void insert_minima(double yb, std::size_t& next_min) {
+    while (next_min < bt_.minima.size() &&
+           bt_.minima[next_min].pt.y == yb) {
+      const LocalMin& lm = bt_.minima[next_min++];
+      const auto eL = lm.edge_left;
+      const auto eR = lm.edge_right;
+      const double slope_l =
+          bt_.edges[static_cast<std::size_t>(eL)].dxdy;
+
+      // Position by (x at this scanline, then slope).
+      const auto pos_it = std::upper_bound(
+          aet_.begin(), aet_.end(), std::make_pair(lm.pt.x, slope_l),
+          [this](const std::pair<double, double>& key, const Active& a) {
+            if (key.first != a.xb) return key.first < a.xb;
+            return key.second < edge(a).dxdy;
+          });
+      const std::size_t pos =
+          static_cast<std::size_t>(pos_it - aet_.begin());
+
+      bool ls = false, lc = false;
+      if (pos > 0) {
+        const Active& prev = aet_[pos - 1];
+        ls = prev.left_s ^ flip_s(prev);
+        lc = prev.left_c ^ flip_c(prev);
+      }
+      const bool fs = !bt_.edges[static_cast<std::size_t>(eL)].is_clip;
+      const bool fc = !fs;
+      const bool outside = res(ls, lc);              // sector around the min
+      const bool between = res(ls ^ fs, lc ^ fc);    // sector above, inside
+
+      std::int32_t poly = -1;
+      if (outside != between) {
+        // Contributing minimum. If the wedge above is interior this starts
+        // an exterior contour (left edge feeds the front); if the
+        // surroundings are interior it opens a hole (roles swap).
+        poly = between ? pool_.create(lm.pt, /*hole=*/false, eL, eR)
+                       : pool_.create(lm.pt, /*hole=*/true, eR, eL);
+      }
+
+      Active left;
+      left.e = eL;
+      left.xb = lm.pt.x;
+      left.left_s = ls;
+      left.left_c = lc;
+      left.poly = poly;
+      Active right;
+      right.e = eR;
+      right.xb = lm.pt.x;
+      right.left_s = ls ^ fs;
+      right.left_c = lc ^ fc;
+      right.poly = poly;
+      aet_.insert(aet_.begin() + static_cast<std::ptrdiff_t>(pos),
+                  {left, right});
+    }
+  }
+
+  [[nodiscard]] double top_x(const Active& a, double yt) const {
+    const BoundEdge& e = edge(a);
+    if (e.top.y == yt) return e.top.x;
+    return geom::x_at_y(e.bot, e.top, yt);
+  }
+
+  void process_intersections(double yt) {
+    for (auto& a : aet_) a.xt = top_x(a, yt);
+
+    // Phase 1 — enumerate the beam's crossings as the inversions between
+    // the bottom and top x-orders (Lemma 4), on a scratch copy so that no
+    // sweep state changes yet.
+    struct Ev {
+      std::int32_t eu, ev;  // bound-edge ids; eu is left of ev below p
+      Point p;
+    };
+    std::vector<Ev> events;
+    {
+      struct Key {
+        double xt;
+        std::int32_t e;
+      };
+      std::vector<Key> ks;
+      ks.reserve(aet_.size());
+      for (const auto& a : aet_) ks.push_back({a.xt, a.e});
+      for (std::size_t i = 1; i < ks.size(); ++i) {
+        std::size_t j = i;
+        while (j > 0 && ks[j].xt < ks[j - 1].xt) {
+          const BoundEdge& eu = bt_.edges[static_cast<std::size_t>(ks[j - 1].e)];
+          const BoundEdge& ev = bt_.edges[static_cast<std::size_t>(ks[j].e)];
+          events.push_back({ks[j - 1].e, ks[j].e,
+                            geom::line_intersection(eu.bot, eu.top, ev.bot,
+                                                    ev.top)});
+          std::swap(ks[j - 1], ks[j]);
+          --j;
+        }
+      }
+    }
+    if (events.empty()) return;
+
+    // Phase 2 — process in ascending y of the crossing point. At its own
+    // event time every crossing pair is adjacent in the AET (all lower
+    // crossings have already swapped), which is what makes the sector
+    // emission sound. Processing in enumeration order instead connects
+    // boundaries wrongly when three edges cross pairwise in one beam.
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Ev& a, const Ev& b) { return a.p.y < b.p.y; });
+
+    std::unordered_map<std::int32_t, std::size_t> pos;
+    pos.reserve(aet_.size() * 2);
+    for (std::size_t i = 0; i < aet_.size(); ++i) pos[aet_[i].e] = i;
+
+    std::vector<Ev> pending(std::move(events));
+    std::vector<Ev> deferred;
+    while (!pending.empty()) {
+      bool progress = false;
+      deferred.clear();
+      for (const Ev& ev : pending) {
+        std::size_t iu = pos[ev.eu];
+        std::size_t iv = pos[ev.ev];
+        if (iu > iv) std::swap(iu, iv);  // roles flip with current order
+        if (iu + 1 == iv) {
+          crossing_event(iu, iv, ev.p);
+          std::swap(aet_[iu], aet_[iv]);
+          pos[aet_[iu].e] = iu;
+          pos[aet_[iv].e] = iv;
+          progress = true;
+        } else {
+          deferred.push_back(ev);
+        }
+      }
+      pending.swap(deferred);
+      if (!progress && !pending.empty()) {
+        // Degenerate ties interlocked (nearly coincident crossing points,
+        // e.g. three edges through one point). Force-process the remaining
+        // events in order: emit on the pair as if adjacent, swap, and
+        // rebuild every parity flag from the array order — best-effort
+        // emission at a degenerate point, but contours stay attached and
+        // close (dropping emissions here loses whole output rings).
+        for (const Ev& ev : pending) {
+          std::size_t iu = pos[ev.eu];
+          std::size_t iv = pos[ev.ev];
+          if (iu > iv) std::swap(iu, iv);
+          crossing_event(iu, iv, ev.p);
+          std::swap(aet_[iu], aet_[iv]);
+          pos[aet_[iu].e] = iu;
+          pos[aet_[iv].e] = iv;
+          bool s = false, c = false;
+          for (auto& a : aet_) {
+            a.left_s = s;
+            a.left_c = c;
+            s ^= flip_s(a);
+            c ^= flip_c(a);
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  /// Handle the crossing of aet_[ui] (left) and aet_[vi] = aet_[ui+1] at
+  /// point p; emission and flag updates are shared with Algorithm 1's
+  /// per-scanbeam processing (seq/sweep_events.hpp). Does NOT swap the
+  /// entries (caller does).
+  void crossing_event(std::size_t ui, std::size_t vi, const Point& p) {
+    Active& u = aet_[ui];
+    Active& v = aet_[vi];
+    ++intersections_;
+    emit_crossing(pool_, u, edge(u).is_clip, v, edge(v).is_clip, p, op_);
+  }
+
+  void process_top(double yt) {
+    for (std::size_t i = 0; i < aet_.size();) {
+      Active& a = aet_[i];
+      const BoundEdge e = edge(a);  // copy: aet_ may be mutated below
+      if (e.top.y != yt) {
+        ++i;
+        continue;
+      }
+      if (e.next >= 0) {
+        // Intermediate vertex: the bound continues with the next edge.
+        const bool outside = res(a.left_s, a.left_c);
+        const bool inside = res(a.left_s ^ flip_s(a), a.left_c ^ flip_c(a));
+        if (outside != inside && a.poly >= 0)
+          pool_.extend_reassign(a.poly, a.e, e.top, e.next);
+        a.e = e.next;
+        ++i;
+        continue;
+      }
+      // Local maximum: find the partner bound ending at the same point.
+      std::size_t j = i + 1;
+      while (j < aet_.size()) {
+        const BoundEdge& pe = edge(aet_[j]);
+        if (pe.next < 0 && pe.top == e.top) break;
+        ++j;
+      }
+      if (j == aet_.size()) {
+        // No partner (degenerate input slipped through): drop the edge.
+        aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      // In general position the partner is adjacent. If ties in xt left
+      // strays between them, repair their parity for the removal of `a`
+      // (removing the partner on their right does not affect them).
+      for (std::size_t t = i + 1; t < j; ++t) {
+        aet_[t].left_s = aet_[t].left_s ^ flip_s(a);
+        aet_[t].left_c = aet_[t].left_c ^ flip_c(a);
+      }
+      const bool outside = res(a.left_s, a.left_c);
+      const bool between = res(a.left_s ^ flip_s(a), a.left_c ^ flip_c(a));
+      if (outside != between && a.poly >= 0 && aet_[j].poly >= 0)
+        pool_.close(a.poly, a.e, aet_[j].poly, aet_[j].e, e.top);
+      aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(j));
+      aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(i));
+      // i now indexes the entry after the removed pair's position.
+    }
+  }
+};
+
+}  // namespace
+
+PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
+                      BoolOp op, VattiStats* stats) {
+  PolygonSet s = geom::cleaned(subject);
+  PolygonSet c = geom::cleaned(clip);
+  geom::remove_horizontals(s);
+  geom::remove_horizontals(c);
+  const BoundTable bt = build_bounds(s, c);
+  Sweep sweep(bt, op);
+  return sweep.run(stats);
+}
+
+}  // namespace psclip::seq

@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+#include "geom/bool_op.hpp"
+#include "geom/polygon.hpp"
+
+namespace psclip::seq {
+
+/// Counters reported by the sweep, used by tests and by the benchmark
+/// harness (they correspond to the quantities n, k, m in the paper's
+/// complexity analysis).
+struct VattiStats {
+  std::int64_t scanbeams = 0;       ///< m: number of scanbeams processed
+  std::int64_t edges = 0;           ///< n: bound edges from both inputs
+  std::int64_t intersections = 0;   ///< k: pairwise edge crossings handled
+  std::int64_t output_vertices = 0; ///< vertices in the result contours
+  std::int64_t max_aet = 0;         ///< peak active edge table size
+};
+
+/// General polygon clipping with Vatti's scanline algorithm — the library's
+/// sequential substrate, equivalent in role to the GPC library the paper
+/// plugs into Algorithm 2 Step 6.
+///
+/// Handles arbitrary inputs: concave contours, multiple contours, holes
+/// (even-odd), and self-intersecting contours. Horizontal edges are removed
+/// internally by the paper's perturbation preprocessing (§III-C). Output
+/// contours are oriented exterior-CCW / hole-CW and never self-intersect.
+geom::PolygonSet vatti_clip(const geom::PolygonSet& subject,
+                            const geom::PolygonSet& clip, geom::BoolOp op,
+                            VattiStats* stats = nullptr);
+
+}  // namespace psclip::seq

@@ -1,0 +1,95 @@
+// End-to-end test of the psclip_cli example binary: file I/O, format
+// detection, engine selection and exit codes.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#ifndef PSCLIP_CLI_PATH
+#define PSCLIP_CLI_PATH ""
+#endif
+
+namespace {
+
+std::string run(const std::string& args, int* exit_code = nullptr) {
+  const std::string cmd = std::string(PSCLIP_CLI_PATH) + " " + args + " 2>&1";
+  std::array<char, 4096> buf{};
+  std::string out;
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (!pipe) return out;
+  while (fgets(buf.data(), static_cast<int>(buf.size()), pipe))
+    out += buf.data();
+  const int rc = pclose(pipe);
+  if (exit_code) *exit_code = WEXITSTATUS(rc);
+  return out;
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (std::string(PSCLIP_CLI_PATH).empty())
+      GTEST_SKIP() << "psclip_cli not built";
+    a_path_ = testing::TempDir() + "/psclip_cli_a.wkt";
+    b_path_ = testing::TempDir() + "/psclip_cli_b.json";
+    std::ofstream(a_path_)
+        << "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))";
+    std::ofstream(b_path_)
+        << R"({"type":"Polygon","coordinates":[[[5,5],[15,5],[15,15],[5,15],[5,5]]]})";
+  }
+  void TearDown() override {
+    std::remove(a_path_.c_str());
+    std::remove(b_path_.c_str());
+  }
+  std::string a_path_, b_path_;
+};
+
+TEST_F(CliTest, IntersectionArea) {
+  int rc = -1;
+  const std::string out =
+      run("intersection " + a_path_ + " " + b_path_ + " --out=area", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NEAR(std::stod(out), 25.0, 1e-3);
+}
+
+TEST_F(CliTest, EveryEngineComputesTheSameArea) {
+  for (const char* engine :
+       {"auto", "vatti", "martinez", "scanbeam", "slab"}) {
+    int rc = -1;
+    const std::string out = run("union " + a_path_ + " " + b_path_ +
+                                    " --engine=" + engine + " --out=area",
+                                &rc);
+    EXPECT_EQ(rc, 0) << engine;
+    EXPECT_NEAR(std::stod(out), 175.0, 1e-3) << engine;
+  }
+}
+
+TEST_F(CliTest, WktAndGeoJsonOutputs) {
+  int rc = -1;
+  const std::string wkt =
+      run("difference " + a_path_ + " " + b_path_, &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(wkt.find("MULTIPOLYGON"), std::string::npos);
+  const std::string gj = run("difference " + a_path_ + " " + b_path_ +
+                                 " --out=geojson",
+                             &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(gj.find("\"MultiPolygon\""), std::string::npos);
+}
+
+TEST_F(CliTest, BadOperatorExitsWithUsage) {
+  int rc = -1;
+  const std::string out = run("frobnicate " + a_path_ + " " + b_path_, &rc);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
+}
+
+TEST_F(CliTest, MissingFileFails) {
+  int rc = -1;
+  run("union /nonexistent.wkt " + b_path_, &rc);
+  EXPECT_EQ(rc, 1);
+}
+
+}  // namespace

@@ -1,0 +1,77 @@
+// Concurrency: the clippers keep no mutable global state, so independent
+// clips may run from many threads at once — including the parallel
+// algorithms sharing one pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/algorithm1.hpp"
+#include "geom/area_oracle.hpp"
+#include "mt/algorithm2.hpp"
+#include "seq/martinez.hpp"
+#include "seq/vatti.hpp"
+#include "test_support.hpp"
+
+namespace psclip {
+namespace {
+
+using geom::BoolOp;
+using geom::PolygonSet;
+
+TEST(Concurrency, SequentialClippersAreReentrant) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([t, &failures] {
+      for (int i = 0; i < 12; ++i) {
+        const auto seed = static_cast<std::uint64_t>(t * 100 + i);
+        const PolygonSet a =
+            test::random_polygon(seed * 2 + 1, 12 + i, 0, 0, 10, i % 3 == 0);
+        const PolygonSet b =
+            test::random_polygon(seed * 2 + 2, 10 + i, 1, 1, 8, false);
+        const BoolOp op = geom::kAllOps[i % 4];
+        const double want = geom::boolean_area_oracle(a, b, op);
+        if (!test::areas_match(geom::signed_area(seq::vatti_clip(a, b, op)),
+                               want))
+          ++failures;
+        if (!test::areas_match(
+                geom::signed_area(seq::martinez_clip(a, b, op)), want))
+          ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, ParallelAlgorithmsShareOnePool) {
+  par::ThreadPool pool(4);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([t, &pool, &failures] {
+      for (int i = 0; i < 6; ++i) {
+        const auto seed = static_cast<std::uint64_t>(9000 + t * 50 + i);
+        const PolygonSet a =
+            test::random_polygon(seed * 2 + 1, 16, 0, 0, 10);
+        const PolygonSet b =
+            test::random_polygon(seed * 2 + 2, 12, 2, 0, 8);
+        const BoolOp op = geom::kAllOps[(t + i) % 4];
+        const double want = geom::boolean_area_oracle(a, b, op);
+        const double a1 = geom::signed_area(
+            core::scanbeam_clip(a, b, op, pool));
+        const double a2 =
+            geom::signed_area(mt::slab_clip(a, b, op, pool));
+        if (!test::areas_match(a1, want) || !test::areas_match(a2, want))
+          ++failures;
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace psclip

@@ -1,0 +1,93 @@
+#include "data/gis_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/area_oracle.hpp"
+
+namespace psclip::data {
+namespace {
+
+TEST(GisSim, SpecTableHasFourDatasets) {
+  const auto& specs = table3_specs();
+  EXPECT_STREQ(specs[0].name, "ne_10m_urban_areas");
+  EXPECT_EQ(specs[0].polys, 11878);
+  EXPECT_EQ(specs[0].edges, 1153348);
+  EXPECT_STREQ(specs[1].name, "ne_10m_states_provinces");
+  EXPECT_EQ(specs[3].polys, 128682);
+}
+
+class GisDatasets : public ::testing::TestWithParam<int> {};
+
+TEST_P(GisDatasets, ScaledCountsTrackTheSpec) {
+  const int index = GetParam();
+  const DatasetSpec& spec = table3_specs()[static_cast<std::size_t>(index - 1)];
+  const double scale = 0.01;
+  const auto layer = make_dataset(index, scale);
+  const LayerStats st = measure(layer);
+  const double want_polys = spec.polys * scale;
+  EXPECT_GT(st.polys, want_polys * 0.5) << spec.name;
+  EXPECT_LT(st.polys, want_polys * 1.5) << spec.name;
+  // Edges per polygon mirror the spec's ratio.
+  const double want_epp =
+      static_cast<double>(spec.edges) / static_cast<double>(spec.polys);
+  const double got_epp =
+      static_cast<double>(st.edges) / static_cast<double>(st.polys);
+  EXPECT_GT(got_epp, want_epp * 0.6) << spec.name;
+  EXPECT_LT(got_epp, want_epp * 1.5) << spec.name;
+}
+
+TEST_P(GisDatasets, EdgeLengthsNearSpec) {
+  const int index = GetParam();
+  const DatasetSpec& spec = table3_specs()[static_cast<std::size_t>(index - 1)];
+  const auto layer = make_dataset(index, 0.01);
+  const LayerStats st = measure(layer);
+  EXPECT_GT(st.mean_edge_len, spec.mean_edge_len * 0.3) << spec.name;
+  EXPECT_LT(st.mean_edge_len, spec.mean_edge_len * 3.0) << spec.name;
+}
+
+TEST_P(GisDatasets, Deterministic) {
+  const int index = GetParam();
+  const auto a = make_dataset(index, 0.005);
+  const auto b = make_dataset(index, 0.005);
+  ASSERT_EQ(a.num_contours(), b.num_contours());
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  EXPECT_DOUBLE_EQ(geom::signed_area(a), geom::signed_area(b));
+}
+
+TEST_P(GisDatasets, LayerPolygonsAreDisjoint) {
+  const auto layer = make_dataset(GetParam(), 0.004);
+  // GIS layers don't self-overlap; our generators use grid placement.
+  // Verify pairwise bbox disjointness on a sample.
+  const auto& cs = layer.contours;
+  int overlaps = 0;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    for (std::size_t j = i + 1; j < cs.size(); ++j)
+      if (geom::bounds(cs[i]).overlaps(geom::bounds(cs[j]))) ++overlaps;
+  EXPECT_EQ(overlaps, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3, GisDatasets, ::testing::Values(1, 2, 3, 4));
+
+TEST(GisSim, Datasets3And4Overlap) {
+  const auto d3 = make_dataset(3, 0.002);
+  const auto d4 = make_dataset(4, 0.002);
+  EXPECT_GT(
+      geom::boolean_area_oracle(d3, d4, geom::BoolOp::kIntersection), 0.0);
+}
+
+TEST(GisSim, Datasets1And2Overlap) {
+  const auto d1 = make_dataset(1, 0.004);
+  const auto d2 = make_dataset(2, 0.02);
+  EXPECT_GT(
+      geom::boolean_area_oracle(d1, d2, geom::BoolOp::kIntersection), 0.0);
+}
+
+TEST(GisSim, MeasureEmptyLayer) {
+  const LayerStats st = measure({});
+  EXPECT_EQ(st.polys, 0u);
+  EXPECT_EQ(st.edges, 0u);
+  EXPECT_EQ(st.mean_edge_len, 0.0);
+}
+
+}  // namespace
+}  // namespace psclip::data

@@ -1,0 +1,102 @@
+#include "data/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/area_oracle.hpp"
+#include "geom/intersect.hpp"
+
+namespace psclip::data {
+namespace {
+
+int self_crossings(const geom::Contour& c) {
+  int count = 0;
+  const std::size_t n = c.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const auto x = geom::segment_intersection(c[i], c[(i + 1) % n], c[j],
+                                                c[(j + 1) % n]);
+      if (x.relation == geom::SegmentRelation::kProper) ++count;
+    }
+  return count;
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  const auto a = random_simple(42, 20, 0, 0, 10);
+  const auto b = random_simple(42, 20, 0, 0, 10);
+  const auto c = random_simple(43, 20, 0, 0, 10);
+  ASSERT_EQ(a.contours[0].size(), b.contours[0].size());
+  for (std::size_t i = 0; i < a.contours[0].size(); ++i)
+    EXPECT_EQ(a.contours[0][i], b.contours[0][i]);
+  EXPECT_NE(geom::signed_area(a), geom::signed_area(c));
+}
+
+TEST(Synthetic, SimplePolygonsAreSimple) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const auto p = random_simple(seed, 24, 0, 0, 10);
+    EXPECT_EQ(self_crossings(p.contours[0]), 0) << "seed " << seed;
+    EXPECT_GT(geom::signed_area(p), 0.0);
+  }
+}
+
+TEST(Synthetic, ConvexPolygonsAreConvex) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto p = random_convex(seed, 16, 0, 0, 10);
+    const auto& c = p.contours[0];
+    const std::size_t n = c.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_GE(geom::cross(c[(i + 1) % n] - c[i], c[(i + 2) % n] - c[(i + 1) % n]),
+                0.0)
+          << "seed " << seed << " at " << i;
+    }
+  }
+}
+
+TEST(Synthetic, SelfIntersectingActuallySelfIntersects) {
+  int with_crossings = 0;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const auto p = random_self_intersecting(seed, 20, 0, 0, 10);
+    if (self_crossings(p.contours[0]) > 0) ++with_crossings;
+  }
+  EXPECT_GE(with_crossings, 8);  // the shuffle virtually always crosses
+}
+
+TEST(Synthetic, StarPolygramPentagram) {
+  const auto p = star_polygram(5, 2, 0, 0, 10);
+  EXPECT_EQ(p.contours[0].size(), 5u);
+  EXPECT_EQ(self_crossings(p.contours[0]), 5);  // pentagram: 5 crossings
+}
+
+TEST(Synthetic, SyntheticPairOverlaps) {
+  for (int edges : {16, 64, 256}) {
+    const SyntheticPair pair = synthetic_pair(7, edges);
+    EXPECT_EQ(pair.subject.num_vertices(), static_cast<std::size_t>(edges));
+    EXPECT_EQ(pair.clip.num_vertices(), static_cast<std::size_t>(edges));
+    EXPECT_GT(geom::boolean_area_oracle(pair.subject, pair.clip,
+                                        geom::BoolOp::kIntersection),
+              0.0)
+        << edges;
+  }
+}
+
+TEST(Synthetic, PolygonFieldDisjointAndCounted) {
+  const auto field = polygon_field(5, 25, 100.0, 8);
+  EXPECT_EQ(field.num_contours(), 25u);
+  // Grid placement with radius < 0.4 cell keeps bounding boxes disjoint.
+  for (std::size_t i = 0; i < field.contours.size(); ++i) {
+    for (std::size_t j = i + 1; j < field.contours.size(); ++j) {
+      EXPECT_FALSE(geom::bounds(field.contours[i])
+                       .overlaps(geom::bounds(field.contours[j])))
+          << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Synthetic, PolygonFieldInsideWorld) {
+  const auto field = polygon_field(9, 40, 50.0, 6);
+  const geom::BBox bb = geom::bounds(field);
+  EXPECT_GE(bb.xmin, -5.0);
+  EXPECT_LE(bb.xmax, 55.0);
+}
+
+}  // namespace
+}  // namespace psclip::data

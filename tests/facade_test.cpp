@@ -1,0 +1,47 @@
+#include "psclip.hpp"
+
+#include <gtest/gtest.h>
+
+#include "test_support.hpp"
+
+namespace psclip {
+namespace {
+
+using geom::BoolOp;
+using geom::PolygonSet;
+
+TEST(Facade, AllEnginesAgree) {
+  const PolygonSet a = test::random_polygon(4001, 20, 0, 0, 10);
+  const PolygonSet b = test::random_polygon(4002, 16, 1, 1, 8);
+  for (const BoolOp op : geom::kAllOps) {
+    const double want = geom::boolean_area_oracle(a, b, op);
+    for (const Engine e : {Engine::kAuto, Engine::kVatti, Engine::kMartinez,
+                           Engine::kScanbeam, Engine::kSlab}) {
+      const double got = geom::signed_area(clip(a, b, op, e));
+      EXPECT_TRUE(test::areas_match(got, want, 1e-5))
+          << geom::to_string(op) << " engine=" << static_cast<int>(e)
+          << " got=" << got << " want=" << want;
+    }
+  }
+}
+
+TEST(Facade, AutoPicksSomethingSaneForEmptyInput) {
+  EXPECT_TRUE(clip({}, {}, BoolOp::kUnion).empty());
+}
+
+TEST(Facade, UmbrellaHeaderExposesEverything) {
+  // Spot-check that one symbol from each subsystem is reachable through
+  // the single include.
+  const PolygonSet sq =
+      geom::make_polygon({{0, 0}, {2, 0}, {2, 2}, {0, 2}});
+  EXPECT_TRUE(geom::point_in_polygon({1, 1}, sq));
+  EXPECT_FALSE(geom::to_wkt(sq).empty());
+  EXPECT_FALSE(geom::to_geojson(sq).empty());
+  EXPECT_EQ(geom::nest_contours(sq).size(), 1u);
+  EXPECT_GE(par::default_pool().size(), 1u);
+  seq::VattiStats st;
+  (void)seq::vatti_clip(sq, sq, BoolOp::kUnion, &st);
+}
+
+}  // namespace
+}  // namespace psclip

@@ -1,0 +1,98 @@
+#include "geom/area_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psclip::geom {
+namespace {
+
+PolygonSet square(double x0, double y0, double s) {
+  return make_polygon({{x0, y0}, {x0 + s, y0}, {x0 + s, y0 + s}, {x0, y0 + s}});
+}
+
+TEST(BoolOp, InResultTruthTable) {
+  EXPECT_TRUE(in_result(true, true, BoolOp::kIntersection));
+  EXPECT_FALSE(in_result(true, false, BoolOp::kIntersection));
+  EXPECT_TRUE(in_result(true, false, BoolOp::kUnion));
+  EXPECT_FALSE(in_result(false, false, BoolOp::kUnion));
+  EXPECT_TRUE(in_result(true, false, BoolOp::kDifference));
+  EXPECT_FALSE(in_result(true, true, BoolOp::kDifference));
+  EXPECT_TRUE(in_result(false, true, BoolOp::kXor));
+  EXPECT_FALSE(in_result(true, true, BoolOp::kXor));
+}
+
+TEST(BoolOp, Names) {
+  EXPECT_STREQ(to_string(BoolOp::kIntersection), "INT");
+  EXPECT_STREQ(to_string(BoolOp::kUnion), "UNION");
+  EXPECT_STREQ(to_string(BoolOp::kDifference), "DIFF");
+  EXPECT_STREQ(to_string(BoolOp::kXor), "XOR");
+}
+
+TEST(AreaOracle, OverlappingSquares) {
+  const PolygonSet a = square(0, 0, 10);
+  const PolygonSet b = square(5, 5, 10);
+  EXPECT_NEAR(boolean_area_oracle(a, b, BoolOp::kIntersection), 25.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(a, b, BoolOp::kUnion), 175.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(a, b, BoolOp::kDifference), 75.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(a, b, BoolOp::kXor), 150.0, 1e-9);
+}
+
+TEST(AreaOracle, DisjointAndContained) {
+  const PolygonSet a = square(0, 0, 4);
+  const PolygonSet far = square(10, 10, 2);
+  EXPECT_NEAR(boolean_area_oracle(a, far, BoolOp::kIntersection), 0.0, 1e-12);
+  EXPECT_NEAR(boolean_area_oracle(a, far, BoolOp::kUnion), 20.0, 1e-9);
+  const PolygonSet inner = square(1, 1, 2);
+  EXPECT_NEAR(boolean_area_oracle(a, inner, BoolOp::kIntersection), 4.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(a, inner, BoolOp::kDifference), 12.0, 1e-9);
+}
+
+TEST(AreaOracle, TriangleSquareExact) {
+  const PolygonSet tri = make_polygon({{0, 0}, {8, 0}, {0, 8}});
+  const PolygonSet sq = square(0, 0, 6);
+  // The hypotenuse x + y = 8 cuts the 6x6 square's top-right corner
+  // triangle (legs of length 4, area 8): INT = 36 - 8 = 28.
+  EXPECT_NEAR(boolean_area_oracle(tri, sq, BoolOp::kIntersection), 28.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(tri, sq, BoolOp::kUnion), 40.0, 1e-9);
+}
+
+TEST(EvenOddArea, SimpleAndSelfIntersecting) {
+  EXPECT_NEAR(even_odd_area(square(0, 0, 3)), 9.0, 1e-9);
+  // Bowtie {0,0},{4,2},{4,0},{0,2}: lobes are triangles with combined
+  // even-odd area 4 (shoelace would cancel to 0).
+  const PolygonSet bow = make_polygon({{0, 0}, {4, 2}, {4, 0}, {0, 2}});
+  EXPECT_NEAR(even_odd_area(bow), 4.0, 1e-9);
+  EXPECT_NEAR(signed_area(bow), 0.0, 1e-12);
+}
+
+TEST(EvenOddArea, OverlapCancelsByParity) {
+  PolygonSet p = square(0, 0, 4);
+  p.contours.push_back(make_rect(1, 1, 3, 3));  // doubly covered: excluded
+  EXPECT_NEAR(even_odd_area(p), 16.0 - 4.0, 1e-9);
+}
+
+TEST(AreaOracle, SymmetryProperties) {
+  const PolygonSet a = make_polygon({{0, 0}, {7, 1}, {5, 6}, {1, 5}});
+  const PolygonSet b = make_polygon({{3, 2}, {9, 3}, {8, 8}});
+  const double ab_int = boolean_area_oracle(a, b, BoolOp::kIntersection);
+  const double ba_int = boolean_area_oracle(b, a, BoolOp::kIntersection);
+  EXPECT_NEAR(ab_int, ba_int, 1e-9);
+  const double uni = boolean_area_oracle(a, b, BoolOp::kUnion);
+  const double da = boolean_area_oracle(a, b, BoolOp::kDifference);
+  const double db = boolean_area_oracle(b, a, BoolOp::kDifference);
+  EXPECT_NEAR(uni, ab_int + da + db, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(a, b, BoolOp::kXor), da + db, 1e-9);
+}
+
+TEST(AreaOracle, EmptyInputs) {
+  const PolygonSet a = square(0, 0, 2);
+  const PolygonSet none;
+  EXPECT_NEAR(boolean_area_oracle(a, none, BoolOp::kIntersection), 0.0, 1e-12);
+  EXPECT_NEAR(boolean_area_oracle(a, none, BoolOp::kUnion), 4.0, 1e-9);
+  EXPECT_NEAR(boolean_area_oracle(none, a, BoolOp::kDifference), 0.0, 1e-12);
+  EXPECT_NEAR(boolean_area_oracle(none, none, BoolOp::kUnion), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,88 @@
+#include "geom/geojson.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/vatti.hpp"
+
+namespace psclip::geom {
+namespace {
+
+PolygonSet square(double x0, double y0, double s) {
+  return make_polygon({{x0, y0}, {x0 + s, y0}, {x0 + s, y0 + s}, {x0, y0 + s}});
+}
+
+TEST(GeoJson, WriteSimplePolygon) {
+  const std::string j = to_geojson(square(0, 0, 2));
+  EXPECT_NE(j.find("\"type\":\"MultiPolygon\""), std::string::npos);
+  EXPECT_NE(j.find("\"coordinates\""), std::string::npos);
+  EXPECT_NE(j.find("[0,0]"), std::string::npos);
+  EXPECT_NE(j.find("[2,2]"), std::string::npos);
+}
+
+TEST(GeoJson, RoundTripSimple) {
+  const PolygonSet p = make_polygon({{0.5, -1.25}, {4, 0}, {4.75, 4.5}});
+  const auto back = from_geojson(to_geojson(p));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->num_contours(), 1u);
+  EXPECT_NEAR(signed_area(*back), signed_area(p), 1e-12);
+}
+
+TEST(GeoJson, RoundTripWithHoles) {
+  const PolygonSet diff = seq::vatti_clip(square(0, 0, 10), square(3, 3, 2),
+                                          BoolOp::kDifference);
+  const auto back = from_geojson(to_geojson(diff));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->num_contours(), 2u);
+  int holes = 0;
+  for (const auto& c : back->contours)
+    if (c.hole) ++holes;
+  EXPECT_EQ(holes, 1);
+  EXPECT_NEAR(signed_area(*back), signed_area(diff), 1e-6);
+}
+
+TEST(GeoJson, ParsePolygonType) {
+  const auto p = from_geojson(
+      R"({"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]]]})");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(signed_area(*p), 16.0);
+}
+
+TEST(GeoJson, ParseWithForeignMembersAndAltitude) {
+  const auto p = from_geojson(
+      R"({"bbox":[0,0,4,4],"type":"Polygon","crs":{"name":"x"},)"
+      R"("coordinates":[[[0,0,7],[4,0,7],[0,4,7],[0,0,7]]]})");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(signed_area(*p), 8.0);
+}
+
+TEST(GeoJson, ParseMultiPolygonWithHole) {
+  const auto p = from_geojson(
+      R"({"type":"MultiPolygon","coordinates":[)"
+      R"([[[0,0],[10,0],[10,10],[0,10],[0,0]],[[2,2],[2,4],[4,4],[4,2],[2,2]]],)"
+      R"([[[20,20],[22,20],[21,22],[20,20]]]]})");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_contours(), 3u);
+  EXPECT_TRUE(p->contours[1].hole);
+  EXPECT_FALSE(p->contours[2].hole);
+}
+
+TEST(GeoJson, EmptyMultiPolygon) {
+  const auto p = from_geojson(R"({"type":"MultiPolygon","coordinates":[]})");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(p->empty());
+}
+
+TEST(GeoJson, RejectsMalformed) {
+  EXPECT_FALSE(from_geojson("").has_value());
+  EXPECT_FALSE(from_geojson("{}").has_value());
+  EXPECT_FALSE(
+      from_geojson(R"({"type":"Point","coordinates":[1,2]})").has_value());
+  EXPECT_FALSE(
+      from_geojson(R"({"type":"Polygon"})").has_value());
+  EXPECT_FALSE(from_geojson(
+                   R"({"type":"Polygon","coordinates":[[[0,0],[1,1]]]})")
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace psclip::geom

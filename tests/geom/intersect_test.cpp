@@ -1,0 +1,115 @@
+#include "geom/intersect.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "geom/predicates.hpp"
+
+namespace psclip::geom {
+namespace {
+
+TEST(SegmentIntersection, ProperCrossing) {
+  const auto r = segment_intersection({0, 0}, {2, 2}, {0, 2}, {2, 0});
+  ASSERT_EQ(r.relation, SegmentRelation::kProper);
+  EXPECT_DOUBLE_EQ(r.point.x, 1.0);
+  EXPECT_DOUBLE_EQ(r.point.y, 1.0);
+}
+
+TEST(SegmentIntersection, Disjoint) {
+  EXPECT_EQ(segment_intersection({0, 0}, {1, 0}, {0, 1}, {1, 1}).relation,
+            SegmentRelation::kDisjoint);
+  EXPECT_EQ(segment_intersection({0, 0}, {1, 1}, {2, 2.5}, {3, 4}).relation,
+            SegmentRelation::kDisjoint);
+}
+
+TEST(SegmentIntersection, EndpointTouch) {
+  // Shared endpoint.
+  auto r = segment_intersection({0, 0}, {1, 1}, {1, 1}, {2, 0});
+  EXPECT_EQ(r.relation, SegmentRelation::kTouch);
+  EXPECT_EQ(r.point, (Point{1, 1}));
+  // Endpoint in the other segment's interior (T junction).
+  r = segment_intersection({0, 0}, {2, 0}, {1, 0}, {1, 5});
+  EXPECT_EQ(r.relation, SegmentRelation::kTouch);
+  EXPECT_EQ(r.point, (Point{1, 0}));
+}
+
+TEST(SegmentIntersection, CollinearOverlap) {
+  auto r = segment_intersection({0, 0}, {4, 0}, {2, 0}, {6, 0});
+  ASSERT_EQ(r.relation, SegmentRelation::kOverlap);
+  EXPECT_EQ(r.point, (Point{2, 0}));
+  EXPECT_EQ(r.point2, (Point{4, 0}));
+  // Collinear, touching at a single point.
+  r = segment_intersection({0, 0}, {2, 0}, {2, 0}, {5, 0});
+  EXPECT_EQ(r.relation, SegmentRelation::kTouch);
+  // Collinear, disjoint.
+  r = segment_intersection({0, 0}, {1, 0}, {2, 0}, {3, 0});
+  EXPECT_EQ(r.relation, SegmentRelation::kDisjoint);
+}
+
+TEST(SegmentIntersection, CollinearVertical) {
+  const auto r = segment_intersection({1, 0}, {1, 4}, {1, 2}, {1, 9});
+  ASSERT_EQ(r.relation, SegmentRelation::kOverlap);
+  EXPECT_EQ(r.point, (Point{1, 2}));
+  EXPECT_EQ(r.point2, (Point{1, 4}));
+}
+
+TEST(SegmentsIntersect, AgreesWithClassification) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> u(-10, 10);
+  for (int i = 0; i < 3000; ++i) {
+    const Point a1{u(rng), u(rng)}, a2{u(rng), u(rng)};
+    const Point b1{u(rng), u(rng)}, b2{u(rng), u(rng)};
+    const auto r = segment_intersection(a1, a2, b1, b2);
+    EXPECT_EQ(segments_intersect(a1, a2, b1, b2),
+              r.relation != SegmentRelation::kDisjoint);
+  }
+}
+
+TEST(LineIntersection, PointLiesOnBothLines) {
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> u(-5, 5);
+  for (int i = 0; i < 1000; ++i) {
+    const Point a1{u(rng), u(rng)}, a2{u(rng), u(rng)};
+    const Point b1{u(rng), u(rng)}, b2{u(rng), u(rng)};
+    if (std::fabs(cross(a2 - a1, b2 - b1)) < 1e-9) continue;  // parallel
+    const Point p = line_intersection(a1, a2, b1, b2);
+    // p should be (nearly) collinear with both segments' lines.
+    const double d1 = std::fabs(cross(a2 - a1, p - a1)) /
+                      std::hypot(a2.x - a1.x, a2.y - a1.y);
+    const double d2 = std::fabs(cross(b2 - b1, p - b1)) /
+                      std::hypot(b2.x - b1.x, b2.y - b1.y);
+    EXPECT_LT(d1, 1e-7);
+    EXPECT_LT(d2, 1e-7);
+  }
+}
+
+TEST(XAtY, InterpolatesLinearly) {
+  EXPECT_DOUBLE_EQ(x_at_y({0, 0}, {10, 10}, 5.0), 5.0);
+  EXPECT_DOUBLE_EQ(x_at_y({2, 1}, {2, 9}, 4.0), 2.0);  // vertical
+  EXPECT_DOUBLE_EQ(x_at_y({0, 0}, {4, 2}, 2.0), 4.0);  // endpoint
+}
+
+TEST(SegmentIntersection, ProperCrossingMatchesPredicates) {
+  // The reported point of a proper crossing must lie strictly inside both
+  // segments' bounding boxes.
+  std::mt19937_64 rng(13);
+  std::uniform_real_distribution<double> u(-10, 10);
+  int proper = 0;
+  for (int i = 0; i < 5000 && proper < 500; ++i) {
+    const Point a1{u(rng), u(rng)}, a2{u(rng), u(rng)};
+    const Point b1{u(rng), u(rng)}, b2{u(rng), u(rng)};
+    const auto r = segment_intersection(a1, a2, b1, b2);
+    if (r.relation != SegmentRelation::kProper) continue;
+    ++proper;
+    EXPECT_LE(std::min(a1.x, a2.x) - 1e-9, r.point.x);
+    EXPECT_GE(std::max(a1.x, a2.x) + 1e-9, r.point.x);
+    EXPECT_LE(std::min(b1.y, b2.y) - 1e-9, r.point.y);
+    EXPECT_GE(std::max(b1.y, b2.y) + 1e-9, r.point.y);
+  }
+  EXPECT_GT(proper, 100);  // the sweep actually exercised the case
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,80 @@
+#include "geom/nesting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/vatti.hpp"
+
+namespace psclip::geom {
+namespace {
+
+PolygonSet square(double x0, double y0, double s) {
+  return make_polygon({{x0, y0}, {x0 + s, y0}, {x0 + s, y0 + s}, {x0, y0 + s}});
+}
+
+TEST(Nesting, SingleShell) {
+  const auto nested = nest_contours(square(0, 0, 4));
+  ASSERT_EQ(nested.size(), 1u);
+  EXPECT_TRUE(nested[0].holes.empty());
+  EXPECT_GT(signed_area(nested[0].shell), 0.0);
+}
+
+TEST(Nesting, ShellWithHole) {
+  // Clip a hole out of a square and nest the clipper output.
+  const PolygonSet diff =
+      seq::vatti_clip(square(0, 0, 10), square(3, 3, 2),
+                      BoolOp::kDifference);
+  const auto nested = nest_contours(diff);
+  ASSERT_EQ(nested.size(), 1u);
+  ASSERT_EQ(nested[0].holes.size(), 1u);
+  EXPECT_GT(signed_area(nested[0].shell), 0.0);
+  EXPECT_LT(signed_area(nested[0].holes[0]), 0.0);
+}
+
+TEST(Nesting, IslandInsideHole) {
+  // Square minus ring leaves: outer shell with hole, plus an island.
+  PolygonSet ring;  // annulus as two even-odd rings
+  ring.contours.push_back(make_rect(2, 2, 8, 8));
+  ring.contours.push_back(make_rect(4, 4, 6, 6));
+  const PolygonSet diff =
+      seq::vatti_clip(square(0, 0, 10), ring, BoolOp::kDifference);
+  const auto nested = nest_contours(diff);
+  ASSERT_EQ(nested.size(), 2u);
+  // One polygon has a hole (the outer), one has none (the island).
+  const int with_hole =
+      static_cast<int>(!nested[0].holes.empty()) +
+      static_cast<int>(!nested[1].holes.empty());
+  EXPECT_EQ(with_hole, 1);
+  // Total area preserved.
+  double nested_area = 0.0;
+  for (const auto& np : nested) {
+    nested_area += signed_area(np.shell);
+    for (const auto& h : np.holes) nested_area += signed_area(h);
+  }
+  EXPECT_NEAR(nested_area, signed_area(diff), 1e-6);
+}
+
+TEST(Nesting, DisjointShells) {
+  PolygonSet two;
+  two.contours.push_back(make_rect(0, 0, 1, 1));
+  two.contours.push_back(make_rect(5, 5, 7, 7));
+  const auto nested = nest_contours(two);
+  EXPECT_EQ(nested.size(), 2u);
+  for (const auto& np : nested) EXPECT_TRUE(np.holes.empty());
+}
+
+TEST(Nesting, FlattenRoundTrip) {
+  const PolygonSet diff =
+      seq::vatti_clip(square(0, 0, 10), square(2, 2, 3),
+                      BoolOp::kDifference);
+  const PolygonSet flat = flatten(nest_contours(diff));
+  EXPECT_EQ(flat.num_contours(), diff.num_contours());
+  EXPECT_NEAR(signed_area(flat), signed_area(diff), 1e-9);
+}
+
+TEST(Nesting, EmptyInput) {
+  EXPECT_TRUE(nest_contours({}).empty());
+  EXPECT_TRUE(flatten({}).empty());
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,89 @@
+#include "geom/point_in_polygon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace psclip::geom {
+namespace {
+
+PolygonSet square() { return make_polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}}); }
+
+TEST(PointInPolygon, SimpleSquare) {
+  const PolygonSet p = square();
+  EXPECT_TRUE(point_in_polygon({2, 2}, p));
+  EXPECT_FALSE(point_in_polygon({5, 2}, p));
+  EXPECT_FALSE(point_in_polygon({-1, 2}, p));
+  EXPECT_FALSE(point_in_polygon({2, 5}, p));
+}
+
+TEST(PointInPolygon, BoundaryCountsAsInside) {
+  const PolygonSet p = square();
+  EXPECT_TRUE(point_in_polygon({0, 2}, p));   // on left edge
+  EXPECT_TRUE(point_in_polygon({2, 0}, p));   // on bottom edge
+  EXPECT_TRUE(point_in_polygon({0, 0}, p));   // vertex
+  EXPECT_TRUE(point_in_polygon({4, 4}, p));   // vertex
+}
+
+TEST(PointInPolygon, EvenOddWithHoleRing) {
+  PolygonSet p = square();
+  p.add({{1, 1}, {3, 1}, {3, 3}, {1, 3}});  // inner ring = hole (even-odd)
+  EXPECT_FALSE(point_in_polygon({2, 2}, p));  // inside both rings: parity 2
+  EXPECT_TRUE(point_in_polygon({0.5, 0.5}, p));
+  EXPECT_FALSE(point_in_polygon({5, 5}, p));
+}
+
+TEST(PointInPolygon, SelfIntersectingBowtie) {
+  // Bowtie crossing at (2, 1): two triangular lobes are interior, the
+  // region between the crossing and the vertical edges is not.
+  const PolygonSet p = make_polygon({{0, 0}, {4, 2}, {4, 0}, {0, 2}});
+  EXPECT_TRUE(point_in_polygon({0.5, 1.0}, p));   // left lobe
+  EXPECT_TRUE(point_in_polygon({3.5, 1.0}, p));   // right lobe
+  EXPECT_FALSE(point_in_polygon({2.0, 1.8}, p));  // above the crossing
+  EXPECT_FALSE(point_in_polygon({2.0, 0.2}, p));  // below the crossing
+}
+
+TEST(PointInPolygon, ConcaveChevron) {
+  const PolygonSet p = make_polygon({{0, 0}, {6, 0}, {6, 6}, {3, 2}, {0, 6}});
+  EXPECT_TRUE(point_in_polygon({1, 1}, p));
+  EXPECT_FALSE(point_in_polygon({3, 5}, p));  // inside the notch
+  EXPECT_TRUE(point_in_polygon({5.5, 5}, p));
+}
+
+TEST(PointInPolygon, VertexLevelRayDoesNotDoubleCount) {
+  // Query exactly at the y of a vertex: the half-open edge rule must count
+  // each crossing once.
+  const PolygonSet p = make_polygon({{0, 0}, {2, 2}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(point_in_polygon({3.5, 2.0}, p));
+  EXPECT_FALSE(point_in_polygon({-1.0, 2.0}, p));
+  EXPECT_FALSE(point_in_polygon({5.0, 2.0}, p));
+}
+
+TEST(CrossingsLeftOf, CountsEdges) {
+  const PolygonSet p = square();
+  EXPECT_EQ(crossings_left_of({5, 2}, p), 2);   // both vertical edges
+  EXPECT_EQ(crossings_left_of({2, 2}, p), 1);   // only the left edge
+  EXPECT_EQ(crossings_left_of({-1, 2}, p), 0);
+  EXPECT_EQ(crossings_left_of({2, 9}, p), 0);   // above the polygon
+}
+
+TEST(CrossingsLeftOf, ParityMatchesMembership) {
+  const PolygonSet p =
+      make_polygon({{0, 0}, {6, 1}, {5, 5}, {3, 2.5}, {1, 5.5}});
+  for (double x = -1.0; x <= 7.0; x += 0.37) {
+    for (double y = -1.0; y <= 6.5; y += 0.41) {
+      const Point q{x, y};
+      EXPECT_EQ(crossings_left_of(q, p) % 2 == 1, point_in_polygon(q, p))
+          << "at " << x << "," << y;
+    }
+  }
+}
+
+TEST(PointInContour, SingleContour) {
+  const Contour c = make_rect(0, 0, 2, 2);
+  EXPECT_TRUE(point_in_contour({1, 1}, c));
+  EXPECT_FALSE(point_in_contour({3, 1}, c));
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,81 @@
+#include "geom/point.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "geom/bbox.hpp"
+
+namespace psclip::geom {
+namespace {
+
+TEST(Point, ArithmeticAndComparison) {
+  const Point a{1.0, 2.0}, b{3.0, -4.0};
+  EXPECT_EQ((a + b), (Point{4.0, -2.0}));
+  EXPECT_EQ((a - b), (Point{-2.0, 6.0}));
+  EXPECT_EQ((2.0 * a), (Point{2.0, 4.0}));
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(Point, SweepOrderIsYThenX) {
+  EXPECT_LT((Point{5.0, 1.0}), (Point{0.0, 2.0}));  // lower y first
+  EXPECT_LT((Point{0.0, 1.0}), (Point{5.0, 1.0}));  // tie broken by x
+  EXPECT_FALSE((Point{0.0, 1.0}) < (Point{0.0, 1.0}));
+}
+
+TEST(Point, DotAndCross) {
+  EXPECT_DOUBLE_EQ(dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(cross({1, 0}, {0, 1}), 1.0);
+  EXPECT_DOUBLE_EQ(cross({0, 1}, {1, 0}), -1.0);
+  EXPECT_DOUBLE_EQ(cross({2, 3}, {4, 6}), 0.0);  // parallel
+}
+
+TEST(Point, Distance) {
+  EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(distance({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Point, HashDistinguishesCoordinates) {
+  std::unordered_set<std::size_t> hashes;
+  PointHash h;
+  hashes.insert(h({0, 0}));
+  hashes.insert(h({0, 1}));
+  hashes.insert(h({1, 0}));
+  hashes.insert(h({1, 1}));
+  EXPECT_EQ(hashes.size(), 4u);
+  EXPECT_EQ(h({2.5, -3.5}), h({2.5, -3.5}));
+}
+
+TEST(BBox, ExpandAndContains) {
+  BBox b;
+  EXPECT_TRUE(b.empty());
+  b.expand(Point{1, 2});
+  b.expand(Point{-3, 5});
+  EXPECT_FALSE(b.empty());
+  EXPECT_DOUBLE_EQ(b.xmin, -3.0);
+  EXPECT_DOUBLE_EQ(b.xmax, 1.0);
+  EXPECT_DOUBLE_EQ(b.width(), 4.0);
+  EXPECT_DOUBLE_EQ(b.height(), 3.0);
+  EXPECT_TRUE(b.contains({0, 3}));
+  EXPECT_FALSE(b.contains({2, 3}));
+}
+
+TEST(BBox, OverlapIsClosed) {
+  BBox a{0, 0, 1, 1}, b{1, 1, 2, 2}, c{1.5, 1.5, 3, 3}, d{5, 5, 6, 6};
+  EXPECT_TRUE(a.overlaps(b));  // touching corners count
+  EXPECT_TRUE(b.overlaps(c));
+  EXPECT_FALSE(a.overlaps(c));
+  EXPECT_FALSE(a.overlaps(d));
+  EXPECT_TRUE(a.overlaps_y(0.5, 2.0));
+  EXPECT_FALSE(a.overlaps_y(1.5, 2.0));
+}
+
+TEST(BBox, ExpandWithBox) {
+  BBox a{0, 0, 1, 1};
+  a.expand(BBox{-1, 2, 0.5, 3});
+  EXPECT_EQ(a, (BBox{-1, 0, 1, 3}));
+}
+
+}  // namespace
+}  // namespace psclip::geom

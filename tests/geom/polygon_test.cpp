@@ -1,0 +1,91 @@
+#include "geom/polygon.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psclip::geom {
+namespace {
+
+Contour unit_square() { return make_rect(0, 0, 1, 1); }
+
+TEST(Polygon, SignedAreaOrientation) {
+  Contour sq = unit_square();
+  EXPECT_DOUBLE_EQ(signed_area(sq), 1.0);  // make_rect is CCW
+  reverse(sq);
+  EXPECT_DOUBLE_EQ(signed_area(sq), -1.0);
+}
+
+TEST(Polygon, SignedAreaTriangle) {
+  Contour t{{{0, 0}, {4, 0}, {0, 3}}, false};
+  EXPECT_DOUBLE_EQ(signed_area(t), 6.0);
+}
+
+TEST(Polygon, DegenerateContoursHaveZeroArea) {
+  EXPECT_DOUBLE_EQ(signed_area(Contour{}), 0.0);
+  EXPECT_DOUBLE_EQ(signed_area(Contour{{{1, 1}}, false}), 0.0);
+  EXPECT_DOUBLE_EQ(signed_area(Contour{{{1, 1}, {2, 2}}, false}), 0.0);
+}
+
+TEST(Polygon, SetAreaSumsContours) {
+  PolygonSet p;
+  p.contours.push_back(make_rect(0, 0, 2, 2));  // +4
+  Contour hole = make_rect(0.5, 0.5, 1.5, 1.5); // -1 when reversed
+  reverse(hole);
+  hole.hole = true;
+  p.contours.push_back(hole);
+  EXPECT_DOUBLE_EQ(signed_area(p), 3.0);
+  EXPECT_DOUBLE_EQ(area(p), 3.0);
+  EXPECT_EQ(p.num_vertices(), 8u);
+  EXPECT_EQ(p.num_contours(), 2u);
+}
+
+TEST(Polygon, Bounds) {
+  PolygonSet p = make_polygon({{1, 2}, {5, -1}, {3, 7}});
+  const BBox b = bounds(p);
+  EXPECT_DOUBLE_EQ(b.xmin, 1.0);
+  EXPECT_DOUBLE_EQ(b.xmax, 5.0);
+  EXPECT_DOUBLE_EQ(b.ymin, -1.0);
+  EXPECT_DOUBLE_EQ(b.ymax, 7.0);
+  EXPECT_TRUE(bounds(PolygonSet{}).empty());
+}
+
+TEST(Polygon, TransformedScalesAndShifts) {
+  PolygonSet p = make_polygon({{0, 0}, {1, 0}, {0, 1}});
+  PolygonSet q = transformed(p, 2.0, {10, 20});
+  EXPECT_EQ(q.contours[0][0], (Point{10, 20}));
+  EXPECT_EQ(q.contours[0][1], (Point{12, 20}));
+  EXPECT_DOUBLE_EQ(signed_area(q), 4.0 * signed_area(p));
+}
+
+TEST(Polygon, CleanedRemovesDuplicatesAndDegenerates) {
+  PolygonSet p;
+  p.add({{0, 0}, {0, 0}, {1, 0}, {1, 1}, {1, 1}, {0, 1}, {0, 0}});
+  p.add({{5, 5}, {5, 5}, {6, 6}});  // collapses below 3 vertices
+  const PolygonSet c = cleaned(p);
+  ASSERT_EQ(c.num_contours(), 1u);
+  EXPECT_EQ(c.contours[0].size(), 4u);
+  EXPECT_DOUBLE_EQ(signed_area(c), 1.0);
+}
+
+TEST(Polygon, CleanedWithToleranceMergesNearDuplicates) {
+  PolygonSet p;
+  p.add({{0, 0}, {1e-9, 1e-9}, {1, 0}, {1, 1}, {0, 1}});
+  EXPECT_EQ(cleaned(p, 1e-6).contours[0].size(), 4u);
+  EXPECT_EQ(cleaned(p, 0.0).contours[0].size(), 5u);
+}
+
+TEST(Polygon, DescribeMentionsCounts) {
+  PolygonSet p = make_polygon({{0, 0}, {1, 0}, {0, 1}});
+  const std::string d = describe(p);
+  EXPECT_NE(d.find("1 contours"), std::string::npos);
+  EXPECT_NE(d.find("3 vertices"), std::string::npos);
+}
+
+TEST(Polygon, MakeRectIsCcwAndClosed) {
+  const Contour r = make_rect(-1, -2, 3, 4);
+  EXPECT_EQ(r.size(), 4u);
+  EXPECT_GT(signed_area(r), 0.0);
+  EXPECT_DOUBLE_EQ(signed_area(r), 4.0 * 6.0);
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,78 @@
+#include "geom/predicates.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+namespace psclip::geom {
+namespace {
+
+TEST(Orient2d, BasicTurns) {
+  EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0.0);   // left turn
+  EXPECT_LT(orient2d({0, 0}, {1, 0}, {0, -1}), 0.0);  // right turn
+  EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0.0);   // collinear
+}
+
+TEST(Orient2d, SignFunction) {
+  EXPECT_EQ(orient2d_sign({0, 0}, {1, 0}, {0, 1}), 1);
+  EXPECT_EQ(orient2d_sign({0, 0}, {1, 0}, {0, -1}), -1);
+  EXPECT_EQ(orient2d_sign({0, 0}, {2, 0}, {5, 0}), 0);
+}
+
+TEST(Orient2d, ExactOnNearDegenerateInputs) {
+  // Points on the line y = x, offset by one ulp: the naive determinant
+  // underflows into rounding noise; the adaptive predicate must still
+  // classify exactly.
+  const double big = 1e15;
+  const Point a{big, big};
+  const Point b{big + 1.0, big + 1.0};
+  EXPECT_EQ(orient2d_sign(a, b, {0.5, 0.5}), 0);
+  EXPECT_EQ(orient2d_sign(a, b, {0.5, std::nextafter(0.5, 1.0)}), 1);
+  EXPECT_EQ(orient2d_sign(a, b, {0.5, std::nextafter(0.5, 0.0)}), -1);
+}
+
+TEST(Orient2d, ConsistencyUnderPermutation) {
+  // orient2d(a,b,c) = orient2d(b,c,a) = orient2d(c,a,b) in sign, and
+  // flips under swaps — exercised across many near-collinear triples.
+  std::mt19937_64 rng(42);
+  std::uniform_real_distribution<double> u(-1.0, 1.0);
+  for (int i = 0; i < 2000; ++i) {
+    const Point a{u(rng), u(rng)};
+    const Point b{u(rng), u(rng)};
+    // c close to the line through a, b.
+    const double t = u(rng);
+    const Point on{a.x + t * (b.x - a.x), a.y + t * (b.y - a.y)};
+    const Point c{on.x + u(rng) * 1e-15, on.y + u(rng) * 1e-15};
+    const int s = orient2d_sign(a, b, c);
+    EXPECT_EQ(orient2d_sign(b, c, a), s);
+    EXPECT_EQ(orient2d_sign(c, a, b), s);
+    EXPECT_EQ(orient2d_sign(b, a, c), -s);
+  }
+}
+
+TEST(OnSegment, EndpointsInteriorAndBeyond) {
+  const Point a{0, 0}, b{4, 2};
+  EXPECT_TRUE(on_segment(a, b, a));
+  EXPECT_TRUE(on_segment(a, b, b));
+  EXPECT_TRUE(on_segment(a, b, {2, 1}));
+  EXPECT_FALSE(on_segment(a, b, {6, 3}));    // collinear but beyond
+  EXPECT_FALSE(on_segment(a, b, {-2, -1}));  // collinear but before
+  EXPECT_FALSE(on_segment(a, b, {2, 1.0001}));
+}
+
+TEST(OnSegment, VerticalAndHorizontal) {
+  EXPECT_TRUE(on_segment({1, 0}, {1, 5}, {1, 3}));
+  EXPECT_FALSE(on_segment({1, 0}, {1, 5}, {1, 6}));
+  EXPECT_TRUE(on_segment({0, 2}, {7, 2}, {3, 2}));
+  EXPECT_FALSE(on_segment({0, 2}, {7, 2}, {8, 2}));
+}
+
+TEST(LeftOf, MatchesOrientation) {
+  EXPECT_TRUE(left_of({0, 0}, {1, 0}, {0.5, 1}));
+  EXPECT_FALSE(left_of({0, 0}, {1, 0}, {0.5, -1}));
+  EXPECT_FALSE(left_of({0, 0}, {1, 0}, {0.5, 0}));  // on line: not strict
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,122 @@
+#include "geom/validate.hpp"
+
+#include <gtest/gtest.h>
+
+#include "seq/martinez.hpp"
+#include "seq/vatti.hpp"
+#include "test_support.hpp"
+
+namespace psclip::geom {
+namespace {
+
+using Kind = ValidationIssue::Kind;
+
+bool has(const std::vector<ValidationIssue>& issues, Kind k) {
+  for (const auto& i : issues)
+    if (i.kind == k) return true;
+  return false;
+}
+
+TEST(Validate, CleanSquareIsValid) {
+  const PolygonSet p = make_polygon({{0, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(is_valid_output(p));
+  EXPECT_TRUE(validation_report(p).empty());
+}
+
+TEST(Validate, DetectsTooFewVertices) {
+  PolygonSet p;
+  p.add({{0, 0}, {1, 1}});
+  EXPECT_TRUE(has(validate(p), Kind::kTooFewVertices));
+}
+
+TEST(Validate, DetectsDuplicateVertex) {
+  PolygonSet p;
+  p.add({{0, 0}, {4, 0}, {4, 0}, {4, 4}, {0, 4}});
+  EXPECT_TRUE(has(validate(p), Kind::kDuplicateVertex));
+}
+
+TEST(Validate, DetectsSelfIntersection) {
+  const PolygonSet bow = make_polygon({{0, 0}, {4, 2}, {4, 0}, {0, 2}});
+  const auto issues = validate(bow);
+  EXPECT_TRUE(has(issues, Kind::kSelfIntersection));
+  EXPECT_FALSE(validation_report(bow).empty());
+}
+
+TEST(Validate, DetectsSpike) {
+  PolygonSet p;
+  p.add({{0, 0}, {4, 0}, {8, 0.01}, {4, 0}, {2, 3}});
+  // v[1] = v[3] with the excursion to (8, 0.01) between them.
+  EXPECT_TRUE(has(validate(p), Kind::kSpike));
+}
+
+TEST(Validate, DetectsHoleOrientationMismatch) {
+  Contour hole = make_rect(1, 1, 2, 2);  // counter-clockwise...
+  hole.hole = true;                      // ...but flagged as a hole
+  PolygonSet p;
+  p.contours.push_back(make_rect(0, 0, 4, 4));
+  p.contours.push_back(hole);
+  EXPECT_TRUE(has(validate(p), Kind::kHoleOrientation));
+}
+
+TEST(Validate, DetectsCrossContourCrossing) {
+  PolygonSet p;
+  p.contours.push_back(make_rect(0, 0, 4, 4));
+  p.contours.push_back(Contour{{{2, -1}, {6, 2}, {2, 5}}, false});
+  EXPECT_TRUE(has(validate(p), Kind::kCrossContourCrossing));
+}
+
+TEST(Validate, NestedRingsAreFine) {
+  PolygonSet p;
+  p.contours.push_back(make_rect(0, 0, 10, 10));
+  Contour hole = make_rect(2, 2, 4, 4);
+  reverse(hole);
+  hole.hole = true;
+  p.contours.push_back(hole);
+  EXPECT_TRUE(is_valid_output(p));
+}
+
+TEST(Validate, ZeroAreaWithEpsilon) {
+  PolygonSet p;
+  p.add({{0, 0}, {4, 0}, {2, 1e-9}});
+  EXPECT_FALSE(has(validate(p, 0.0), Kind::kZeroArea));
+  EXPECT_TRUE(has(validate(p, 1e-6), Kind::kZeroArea));
+}
+
+// The quality gate the module exists for: clipper outputs validate clean
+// across a random corpus, including self-intersecting inputs.
+class OutputValidity : public ::testing::TestWithParam<int> {};
+
+TEST_P(OutputValidity, VattiOutputsAreStructurallyValid) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const PolygonSet a =
+      test::random_polygon(seed * 2 + 1, 14 + GetParam() * 2, 0, 0, 10,
+                           GetParam() % 3 == 0);
+  const PolygonSet b =
+      test::random_polygon(seed * 2 + 2, 10 + GetParam(), 1, -1, 8, false);
+  for (const BoolOp op : kAllOps) {
+    const PolygonSet r = seq::vatti_clip(a, b, op);
+    EXPECT_TRUE(is_valid_output(r))
+        << to_string(op) << "\n" << validation_report(r);
+  }
+}
+
+TEST_P(OutputValidity, MartinezOutputsHaveNoProperCrossings) {
+  const auto seed = static_cast<std::uint64_t>(GetParam()) + 500;
+  const PolygonSet a =
+      test::random_polygon(seed * 2 + 1, 12 + GetParam() * 2, 0, 0, 10);
+  const PolygonSet b =
+      test::random_polygon(seed * 2 + 2, 9 + GetParam(), 2, 1, 8);
+  for (const BoolOp op : kAllOps) {
+    const PolygonSet r = seq::martinez_clip(a, b, op);
+    const auto issues = validate(r);
+    // Martinez's Eulerian reconnection may trace touching rings through a
+    // pinch differently, but proper crossings are never acceptable.
+    EXPECT_FALSE(has(issues, Kind::kSelfIntersection)) << to_string(op);
+    EXPECT_FALSE(has(issues, Kind::kCrossContourCrossing)) << to_string(op);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, OutputValidity, ::testing::Range(0, 10));
+
+}  // namespace
+}  // namespace psclip::geom

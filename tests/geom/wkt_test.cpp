@@ -1,0 +1,72 @@
+#include "geom/wkt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psclip::geom {
+namespace {
+
+TEST(Wkt, WriteSingleRing) {
+  const PolygonSet p = make_polygon({{0, 0}, {4, 0}, {4, 4}});
+  const std::string w = to_wkt(p);
+  EXPECT_NE(w.find("MULTIPOLYGON"), std::string::npos);
+  EXPECT_NE(w.find("0 0"), std::string::npos);
+  EXPECT_NE(w.find("4 4"), std::string::npos);
+}
+
+TEST(Wkt, EmptySet) {
+  EXPECT_EQ(to_wkt(PolygonSet{}), "MULTIPOLYGON EMPTY");
+  const auto parsed = from_wkt("MULTIPOLYGON EMPTY");
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(Wkt, RoundTripPreservesGeometry) {
+  PolygonSet p = make_polygon({{0.5, -1.25}, {4, 0}, {4.75, 4.5}, {-1, 3}});
+  p.add({{10, 10}, {12, 10}, {11, 13}});
+  const auto parsed = from_wkt(to_wkt(p));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->num_contours(), 2u);
+  ASSERT_EQ(parsed->contours[0].size(), 4u);
+  for (std::size_t c = 0; c < 2; ++c)
+    for (std::size_t i = 0; i < p.contours[c].size(); ++i)
+      EXPECT_EQ(parsed->contours[c][i], p.contours[c][i]);
+}
+
+TEST(Wkt, ParsePolygonKeyword) {
+  const auto p = from_wkt("POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))");
+  ASSERT_TRUE(p.has_value());
+  ASSERT_EQ(p->num_contours(), 1u);
+  EXPECT_EQ(p->contours[0].size(), 4u);  // closing vertex dropped
+  EXPECT_DOUBLE_EQ(signed_area(*p), 16.0);
+}
+
+TEST(Wkt, ParsePolygonWithHoleRing) {
+  const auto p = from_wkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_contours(), 2u);
+}
+
+TEST(Wkt, ParseCaseInsensitiveAndWhitespace) {
+  const auto p = from_wkt("  multipolygon ( (( 0 0 , 1 0 , 0 1 )) )");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->num_contours(), 1u);
+}
+
+TEST(Wkt, ParseScientificNotation) {
+  const auto p = from_wkt("POLYGON ((0 0, 1e2 0, 1e2 1.5e1, 0 15))");
+  ASSERT_TRUE(p.has_value());
+  EXPECT_DOUBLE_EQ(signed_area(*p), 1500.0);
+}
+
+TEST(Wkt, RejectsMalformed) {
+  EXPECT_FALSE(from_wkt("").has_value());
+  EXPECT_FALSE(from_wkt("LINESTRING (0 0, 1 1)").has_value());
+  EXPECT_FALSE(from_wkt("POLYGON 0 0, 1 1").has_value());
+  EXPECT_FALSE(from_wkt("POLYGON ((0 0, 1 1)").has_value());   // unclosed
+  EXPECT_FALSE(from_wkt("POLYGON ((0 0, 1 1))").has_value());  // 2 points
+  EXPECT_FALSE(from_wkt("POLYGON ((a b, c d, e f))").has_value());
+}
+
+}  // namespace
+}  // namespace psclip::geom

@@ -1,0 +1,122 @@
+#include "parallel/inversions.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace psclip::par {
+namespace {
+
+std::int64_t brute_count(const std::vector<std::int32_t>& v) {
+  std::int64_t n = 0;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      if (v[i] > v[j]) ++n;
+  return n;
+}
+
+std::set<InversionPair> brute_pairs(const std::vector<std::int32_t>& v) {
+  std::set<InversionPair> out;
+  for (std::size_t i = 0; i < v.size(); ++i)
+    for (std::size_t j = i + 1; j < v.size(); ++j)
+      if (v[i] > v[j])
+        out.insert({static_cast<std::int32_t>(i), static_cast<std::int32_t>(j)});
+  return out;
+}
+
+TEST(Inversions, CountBasics) {
+  EXPECT_EQ(count_inversions(std::vector<std::int32_t>{}), 0);
+  EXPECT_EQ(count_inversions(std::vector<std::int32_t>{5}), 0);
+  EXPECT_EQ(count_inversions(std::vector<std::int32_t>{1, 2, 3}), 0);
+  EXPECT_EQ(count_inversions(std::vector<std::int32_t>{3, 2, 1}), 3);
+  EXPECT_EQ(count_inversions(std::vector<std::int32_t>{2, 2, 2}), 0);  // ties
+}
+
+TEST(Inversions, PaperFigure4Example) {
+  // Fig. 4: the lower-scanline order {3,2,4,1} has inversion pairs
+  // (3,1), (3,2), (4,1), (2,1) — exactly the intersecting edge pairs.
+  const std::vector<std::int32_t> order{3, 2, 4, 1};
+  EXPECT_EQ(count_inversions(order), 4);
+  auto pairs = report_inversions(order);
+  std::set<std::pair<std::int32_t, std::int32_t>> by_value;
+  for (const auto& [i, j] : pairs)
+    by_value.insert({order[static_cast<std::size_t>(i)],
+                     order[static_cast<std::size_t>(j)]});
+  const std::set<std::pair<std::int32_t, std::int32_t>> want{
+      {3, 1}, {3, 2}, {4, 1}, {2, 1}};
+  EXPECT_EQ(by_value, want);
+}
+
+TEST(Inversions, TableIMergeTrace) {
+  // Table I merges A_l = {5,6,7,9} with A_r = {1,2,3,4}; every element of
+  // A_r inverts with every remaining element of A_l: 16 value pairs.
+  const std::vector<std::int32_t> left{5, 6, 7, 9};
+  const std::vector<std::int32_t> right{1, 2, 3, 4};
+  const MergeTrace tr = merge_with_inversions(left, right);
+  EXPECT_EQ(tr.merged,
+            (std::vector<std::int32_t>{1, 2, 3, 4, 5, 6, 7, 9}));
+  EXPECT_EQ(tr.inversions.size(), 16u);
+  std::set<std::pair<std::int32_t, std::int32_t>> got(tr.inversions.begin(),
+                                                      tr.inversions.end());
+  for (std::int32_t l : left)
+    for (std::int32_t r : right)
+      EXPECT_TRUE(got.count({l, r})) << l << "," << r;
+}
+
+class InversionSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(InversionSizes, CountMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() * 17 + 3);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(GetParam()));
+  for (auto& x : v) x = static_cast<std::int32_t>(rng() % 64);
+  EXPECT_EQ(count_inversions(v), brute_count(v));
+}
+
+TEST_P(InversionSizes, ReportMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() * 29 + 11);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(GetParam()));
+  for (auto& x : v) x = static_cast<std::int32_t>(rng() % 1000);
+  auto pairs = report_inversions(v);
+  const std::set<InversionPair> got(pairs.begin(), pairs.end());
+  EXPECT_EQ(got.size(), pairs.size()) << "duplicate pairs reported";
+  EXPECT_EQ(got, brute_pairs(v));
+}
+
+TEST_P(InversionSizes, ParallelAgreesWithSequential) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(GetParam() * 41 + 1);
+  std::vector<std::int32_t> v(static_cast<std::size_t>(GetParam()));
+  for (auto& x : v) x = static_cast<std::int32_t>(rng() % 500);
+  EXPECT_EQ(count_inversions(pool, v), count_inversions(v));
+  auto ps = report_inversions(pool, v);
+  auto ss = report_inversions(v);
+  EXPECT_EQ(std::set<InversionPair>(ps.begin(), ps.end()),
+            std::set<InversionPair>(ss.begin(), ss.end()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InversionSizes,
+                         ::testing::Values(2, 3, 7, 16, 33, 100, 257, 1000));
+
+TEST(Inversions, WorstCaseQuadraticOutput) {
+  // Strictly decreasing sequence: n(n-1)/2 inversions, all reported.
+  std::vector<std::int32_t> v(200);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int32_t>(v.size() - i);
+  const auto pairs = report_inversions(v);
+  EXPECT_EQ(pairs.size(), 200u * 199u / 2u);
+}
+
+TEST(Inversions, OutputSensitive) {
+  // Nearly sorted input: report size equals the small inversion count.
+  std::vector<std::int32_t> v(10000);
+  for (std::size_t i = 0; i < v.size(); ++i)
+    v[i] = static_cast<std::int32_t>(i);
+  std::swap(v[17], v[18]);
+  std::swap(v[5000], v[5001]);
+  EXPECT_EQ(report_inversions(v).size(), 2u);
+}
+
+}  // namespace
+}  // namespace psclip::par

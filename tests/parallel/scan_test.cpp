@@ -1,0 +1,83 @@
+#include "parallel/scan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+namespace psclip::par {
+namespace {
+
+std::vector<std::int64_t> random_values(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> d(-100, 100);
+  std::vector<std::int64_t> v(n);
+  for (auto& x : v) x = d(rng);
+  return v;
+}
+
+TEST(Scan, InclusiveSequentialBasic) {
+  const std::vector<std::int64_t> in{1, 2, 3, 4};
+  std::vector<std::int64_t> out(4);
+  inclusive_scan_seq(in, out);
+  EXPECT_EQ(out, (std::vector<std::int64_t>{1, 3, 6, 10}));
+}
+
+TEST(Scan, ExclusiveSequentialBasicAndAliasing) {
+  std::vector<std::int64_t> v{5, 1, 2};
+  const std::int64_t total = exclusive_scan_seq(v, v);  // in-place
+  EXPECT_EQ(total, 8);
+  EXPECT_EQ(v, (std::vector<std::int64_t>{0, 5, 6}));
+}
+
+class ScanSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSizes, ParallelMatchesSequentialInclusive) {
+  ThreadPool pool(4);
+  const auto in = random_values(GetParam(), GetParam() * 7 + 1);
+  std::vector<std::int64_t> want(in.size()), got(in.size());
+  inclusive_scan_seq(in, want);
+  inclusive_scan(pool, in, got);
+  EXPECT_EQ(got, want);
+}
+
+TEST_P(ScanSizes, ParallelMatchesSequentialExclusive) {
+  ThreadPool pool(4);
+  const auto in = random_values(GetParam(), GetParam() * 13 + 5);
+  std::vector<std::int64_t> want(in.size()), got(in.size());
+  const auto wt = exclusive_scan_seq(in, want);
+  const auto gt = exclusive_scan(pool, in, got);
+  EXPECT_EQ(gt, wt);
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSizes,
+                         ::testing::Values(0, 1, 2, 100, 4095, 4096, 4097,
+                                           50000, 262144));
+
+TEST(Scan, AllocateFromCountsIsTheOutputSensitivePattern) {
+  ThreadPool pool(4);
+  // The paper's two-phase allocation: counts -> offsets + total.
+  const std::vector<std::int64_t> counts{3, 0, 5, 1, 0, 2};
+  const Allocation a = allocate_from_counts(pool, counts);
+  EXPECT_EQ(a.total, 11);
+  EXPECT_EQ(a.offsets, (std::vector<std::int64_t>{0, 3, 3, 8, 9, 9}));
+}
+
+TEST(Scan, AllocateFromCountsEmpty) {
+  ThreadPool pool(2);
+  const Allocation a = allocate_from_counts(pool, std::vector<std::int64_t>{});
+  EXPECT_EQ(a.total, 0);
+  EXPECT_TRUE(a.offsets.empty());
+}
+
+TEST(Scan, LargeValuesDoNotOverflowIntermediate) {
+  ThreadPool pool(4);
+  std::vector<std::int64_t> in(10000, 1'000'000'000LL);
+  std::vector<std::int64_t> out(in.size());
+  inclusive_scan(pool, in, out);
+  EXPECT_EQ(out.back(), 10'000'000'000'000LL);
+}
+
+}  // namespace
+}  // namespace psclip::par

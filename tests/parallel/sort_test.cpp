@@ -1,0 +1,84 @@
+#include "parallel/sort.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <random>
+
+namespace psclip::par {
+namespace {
+
+class SortSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SortSizes, MatchesStdSort) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  std::vector<std::int64_t> v(GetParam());
+  for (auto& x : v) x = static_cast<std::int64_t>(rng() % 1000000);
+  std::vector<std::int64_t> want = v;
+  std::sort(want.begin(), want.end());
+  parallel_sort(pool, v);
+  EXPECT_EQ(v, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SortSizes,
+                         ::testing::Values(0, 1, 2, 17, 4095, 4096, 5000,
+                                           65536, 100001));
+
+TEST(ParallelSort, CustomComparatorDescending) {
+  ThreadPool pool(4);
+  std::vector<int> v(20000);
+  std::mt19937 rng(5);
+  for (auto& x : v) x = static_cast<int>(rng() % 1000);
+  parallel_sort(pool, v, std::greater<int>{});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end(), std::greater<int>{}));
+}
+
+TEST(ParallelSort, StableForEqualKeys) {
+  // Sort pairs by first component only; second component records original
+  // order and must stay ascending within equal keys.
+  ThreadPool pool(4);
+  std::vector<std::pair<int, int>> v;
+  std::mt19937 rng(9);
+  for (int i = 0; i < 50000; ++i)
+    v.emplace_back(static_cast<int>(rng() % 50), i);
+  parallel_sort(pool, v, [](const auto& a, const auto& b) {
+    return a.first < b.first;
+  });
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    ASSERT_LE(v[i - 1].first, v[i].first);
+    if (v[i - 1].first == v[i].first) ASSERT_LT(v[i - 1].second, v[i].second);
+  }
+}
+
+TEST(ParallelSort, AlreadySortedAndReverse) {
+  ThreadPool pool(4);
+  std::vector<int> asc(50000);
+  std::iota(asc.begin(), asc.end(), 0);
+  std::vector<int> desc(asc.rbegin(), asc.rend());
+  parallel_sort(pool, desc);
+  EXPECT_EQ(desc, asc);
+  parallel_sort(pool, asc);
+  EXPECT_TRUE(std::is_sorted(asc.begin(), asc.end()));
+}
+
+TEST(ParallelSort, Doubles) {
+  ThreadPool pool(4);
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> u(-1e6, 1e6);
+  std::vector<double> v(30000);
+  for (auto& x : v) x = u(rng);
+  parallel_sort(pool, v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(ParallelSort, SingleThreadPool) {
+  ThreadPool pool(1);
+  std::vector<int> v{5, 3, 9, 1, 1, 8};
+  parallel_sort(pool, v);
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+}  // namespace
+}  // namespace psclip::par

@@ -1,0 +1,101 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace psclip::par {
+namespace {
+
+TEST(ThreadPool, SizeDefaultsToAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+  ThreadPool four(4);
+  EXPECT_EQ(four.size(), 4u);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (std::size_t n : {0u, 1u, 7u, 100u, 4096u, 100001u}) {
+    std::vector<std::atomic<int>> hits(n);
+    pool.parallel_for(n, [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(hits[i].load(), 1) << "n=" << n << " i=" << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsGrain) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  pool.parallel_for(
+      1000, [&](std::size_t i) { sum += static_cast<long>(i); },
+      /*grain=*/64);
+  EXPECT_EQ(sum.load(), 999L * 1000 / 2);
+}
+
+TEST(ThreadPool, ParallelBlocksPartitionContiguously) {
+  ThreadPool pool(4);
+  const std::size_t n = 1003;
+  std::vector<int> owner(n, -1);
+  std::atomic<int> blocks_seen{0};
+  pool.parallel_blocks(n, [&](unsigned block, std::size_t b, std::size_t e) {
+    ++blocks_seen;
+    ASSERT_LT(b, e);
+    for (std::size_t i = b; i < e; ++i) owner[i] = static_cast<int>(block);
+  });
+  // Every element covered, and block ids non-decreasing over the range.
+  for (std::size_t i = 0; i < n; ++i) ASSERT_GE(owner[i], 0);
+  for (std::size_t i = 1; i < n; ++i) ASSERT_GE(owner[i], owner[i - 1]);
+  EXPECT_LE(blocks_seen.load(), 4);
+}
+
+TEST(ThreadPool, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(1000,
+                        [&](std::size_t i) {
+                          if (i == 437) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) pool.submit([&done] { ++done; });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 32);
+}
+
+TEST(ThreadPool, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  long sum = 0;  // no synchronization needed: must run on calling thread
+  pool.parallel_for(100, [&](std::size_t i) { sum += static_cast<long>(i); });
+  EXPECT_EQ(sum, 4950);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(4);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](std::size_t) {
+    pool.parallel_for(8, [&](std::size_t) { ++total; });
+  });
+  EXPECT_EQ(total.load(), 64);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  std::atomic<int> n{0};
+  a.parallel_for(10, [&](std::size_t) { ++n; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+}  // namespace
+}  // namespace psclip::par

@@ -1,0 +1,169 @@
+#include "segtree/segment_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+namespace psclip::segtree {
+namespace {
+
+TEST(SegmentTree, ElementaryIntervalsAndLocate) {
+  SegmentTree t({0.0, 1.0, 2.0, 5.0});
+  EXPECT_EQ(t.num_intervals(), 3u);
+  EXPECT_EQ(t.locate(0.5), 0u);
+  EXPECT_EQ(t.locate(1.0), 1u);   // intervals are [lo, hi)
+  EXPECT_EQ(t.locate(4.99), 2u);
+  EXPECT_EQ(t.locate(-3.0), 0u);  // clamped
+  EXPECT_EQ(t.locate(99.0), 2u);  // clamped
+}
+
+TEST(SegmentTree, InsertAndStabSingle) {
+  SegmentTree t({0.0, 1.0, 2.0, 3.0, 4.0});
+  t.insert(7, 1, 2);  // covers intervals [1,2] and [2,3]
+  EXPECT_EQ(t.stab_count(0), 0);
+  EXPECT_EQ(t.stab_count(1), 1);
+  EXPECT_EQ(t.stab_count(2), 1);
+  EXPECT_EQ(t.stab_count(3), 0);
+  std::vector<std::int32_t> out;
+  t.stab(1, out);
+  EXPECT_EQ(out, std::vector<std::int32_t>{7});
+}
+
+TEST(SegmentTree, InsertRangeByValue) {
+  SegmentTree t({0.0, 1.0, 2.0, 3.0, 4.0});
+  t.insert_range(3, 1.0, 3.0);   // vertex-aligned: intervals 1 and 2
+  EXPECT_EQ(t.stab_count(0), 0);
+  EXPECT_EQ(t.stab_count(1), 1);
+  EXPECT_EQ(t.stab_count(2), 1);
+  EXPECT_EQ(t.stab_count(3), 0);
+  t.insert_range(4, -10.0, 10.0);  // clipped to the whole domain
+  for (std::size_t iv = 0; iv < 4; ++iv) EXPECT_EQ(t.stab_count(iv), iv == 1 || iv == 2 ? 2 : 1);
+  t.insert_range(5, 7.0, 9.0);  // outside: ignored
+  EXPECT_EQ(t.total_cover_size(), t.total_cover_size());
+}
+
+TEST(SegmentTree, DuplicateBreakpointsAreMerged) {
+  SegmentTree t({0.0, 1.0, 1.0, 2.0});
+  EXPECT_EQ(t.num_intervals(), 2u);
+}
+
+TEST(SegmentTree, DegenerateDomains) {
+  SegmentTree empty({});
+  EXPECT_EQ(empty.num_intervals(), 0u);
+  EXPECT_EQ(empty.stab_count(0), 0);
+  SegmentTree single({3.0});
+  EXPECT_EQ(single.num_intervals(), 0u);
+}
+
+TEST(SegmentTree, CoverListsAreLogarithmic) {
+  // One item spanning everything lands on O(log m) canonical nodes, and
+  // stab_count never walks a cover list (counts only).
+  std::vector<double> breaks;
+  for (int i = 0; i <= 1024; ++i) breaks.push_back(i);
+  SegmentTree t(breaks);
+  t.insert(1, 0, 1023);
+  EXPECT_EQ(t.total_cover_size(), 1);  // root only
+  t.insert(2, 1, 1022);                // worst case: 2 per level
+  EXPECT_LE(t.total_cover_size(), 1 + 2 * static_cast<int>(t.height()));
+  EXPECT_EQ(t.stab_count(512), 2);
+}
+
+class SegmentTreeRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentTreeRandom, StabMatchesBruteForce) {
+  std::mt19937_64 rng(GetParam() * 7 + 1);
+  const int m = 1 + static_cast<int>(rng() % 60);
+  std::vector<double> breaks;
+  double y = 0;
+  for (int i = 0; i <= m; ++i) {
+    breaks.push_back(y);
+    y += 0.1 + static_cast<double>(rng() % 100) / 50.0;
+  }
+  const int items = 1 + static_cast<int>(rng() % 100);
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  SegmentTree t(breaks);
+  for (int i = 0; i < items; ++i) {
+    std::size_t lo = rng() % static_cast<std::size_t>(m);
+    std::size_t hi = rng() % static_cast<std::size_t>(m);
+    if (lo > hi) std::swap(lo, hi);
+    ranges.emplace_back(lo, hi);
+    t.insert(i, lo, hi);
+  }
+  for (std::size_t iv = 0; iv < static_cast<std::size_t>(m); ++iv) {
+    std::set<std::int32_t> want;
+    for (int i = 0; i < items; ++i)
+      if (ranges[static_cast<std::size_t>(i)].first <= iv &&
+          iv <= ranges[static_cast<std::size_t>(i)].second)
+        want.insert(i);
+    std::vector<std::int32_t> got;
+    t.stab(iv, got);
+    EXPECT_EQ(std::set<std::int32_t>(got.begin(), got.end()), want);
+    EXPECT_EQ(t.stab_count(iv), static_cast<std::int64_t>(want.size()));
+  }
+}
+
+TEST_P(SegmentTreeRandom, ParallelBuildMatchesSequentialInsert) {
+  par::ThreadPool pool(4);
+  std::mt19937_64 rng(GetParam() * 13 + 5);
+  const int m = 2 + static_cast<int>(rng() % 40);
+  std::vector<double> breaks;
+  for (int i = 0; i <= m; ++i) breaks.push_back(i * 1.5);
+  std::vector<std::pair<double, double>> ranges;
+  const int items = 1 + static_cast<int>(rng() % 200);
+  for (int i = 0; i < items; ++i) {
+    double lo = static_cast<double>(rng() % (m + 1)) * 1.5;
+    double hi = static_cast<double>(rng() % (m + 1)) * 1.5;
+    if (lo > hi) std::swap(lo, hi);
+    ranges.emplace_back(lo, hi);
+  }
+  SegmentTree built = SegmentTree::build(pool, breaks, ranges);
+  SegmentTree seq(breaks);
+  for (int i = 0; i < items; ++i)
+    seq.insert_range(i, ranges[static_cast<std::size_t>(i)].first,
+                     ranges[static_cast<std::size_t>(i)].second);
+  for (std::size_t iv = 0; iv < built.num_intervals(); ++iv) {
+    std::vector<std::int32_t> a, b;
+    built.stab(iv, a);
+    seq.stab(iv, b);
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b) << "interval " << iv;
+  }
+}
+
+TEST_P(SegmentTreeRandom, StabAllMatchesPerIntervalStab) {
+  par::ThreadPool pool(4);
+  std::mt19937_64 rng(GetParam() * 37 + 2);
+  const int m = 2 + static_cast<int>(rng() % 50);
+  std::vector<double> breaks;
+  for (int i = 0; i <= m; ++i) breaks.push_back(i);
+  SegmentTree t(breaks);
+  const int items = static_cast<int>(rng() % 150);
+  for (int i = 0; i < items; ++i) {
+    std::size_t lo = rng() % static_cast<std::size_t>(m);
+    std::size_t hi = rng() % static_cast<std::size_t>(m);
+    if (lo > hi) std::swap(lo, hi);
+    t.insert(i, lo, hi);
+  }
+  const auto all = t.stab_all(pool);
+  ASSERT_EQ(all.offsets.size(), t.num_intervals() + 1);
+  EXPECT_EQ(all.offsets.back(),
+            static_cast<std::int64_t>(all.ids.size()));
+  for (std::size_t iv = 0; iv < t.num_intervals(); ++iv) {
+    std::vector<std::int32_t> want;
+    t.stab(iv, want);
+    std::vector<std::int32_t> got(
+        all.ids.begin() + static_cast<std::ptrdiff_t>(all.offsets[iv]),
+        all.ids.begin() + static_cast<std::ptrdiff_t>(all.offsets[iv + 1]));
+    std::sort(want.begin(), want.end());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, SegmentTreeRandom, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace psclip::segtree

@@ -1,0 +1,110 @@
+#include "seq/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include "geom/perturb.hpp"
+#include "test_support.hpp"
+
+namespace psclip::seq {
+namespace {
+
+using geom::Point;
+using geom::PolygonSet;
+
+BoundTable table_for(PolygonSet s, PolygonSet c = {}) {
+  geom::remove_horizontals(s);
+  geom::remove_horizontals(c);
+  return build_bounds(s, c);
+}
+
+TEST(Bounds, TriangleHasOneMinimumTwoBounds) {
+  const BoundTable bt = table_for(geom::make_polygon({{0, 0}, {4, 1}, {2, 5}}));
+  ASSERT_EQ(bt.minima.size(), 1u);
+  EXPECT_EQ(bt.minima[0].pt, (Point{0, 0}));
+  EXPECT_EQ(bt.edges.size(), 3u);  // every edge is in exactly one bound
+}
+
+TEST(Bounds, EdgesAscendAndChainsLink) {
+  const BoundTable bt = table_for(test::random_polygon(5, 24, 0, 0, 10));
+  EXPECT_EQ(bt.edges.size(), 24u);
+  for (const auto& e : bt.edges) {
+    EXPECT_LT(e.bot.y, e.top.y);
+    if (e.next >= 0) {
+      // Chains are continuous: the next edge starts where this one ends.
+      EXPECT_EQ(bt.edges[static_cast<std::size_t>(e.next)].bot, e.top);
+    }
+  }
+}
+
+TEST(Bounds, MinimaSortedByYThenX) {
+  const BoundTable bt =
+      table_for(test::random_polygon(9, 30, 0, 0, 10),
+                test::random_polygon(10, 20, 3, 2, 8));
+  for (std::size_t i = 1; i < bt.minima.size(); ++i) {
+    const auto& a = bt.minima[i - 1].pt;
+    const auto& b = bt.minima[i].pt;
+    EXPECT_TRUE(a.y < b.y || (a.y == b.y && a.x <= b.x));
+  }
+}
+
+TEST(Bounds, LeftRightHeadsOrderedBySlope) {
+  const BoundTable bt = table_for(test::random_polygon(11, 40, 0, 0, 10));
+  for (const auto& lm : bt.minima) {
+    const auto& l = bt.edges[static_cast<std::size_t>(lm.edge_left)];
+    const auto& r = bt.edges[static_cast<std::size_t>(lm.edge_right)];
+    EXPECT_EQ(l.bot, lm.pt);
+    EXPECT_EQ(r.bot, lm.pt);
+    EXPECT_LE(l.dxdy, r.dxdy);
+  }
+}
+
+TEST(Bounds, ClipFlagDistinguishesInputs) {
+  const BoundTable bt = table_for(test::random_polygon(2, 10, 0, 0, 5),
+                                  test::random_polygon(3, 12, 1, 1, 5));
+  std::size_t subject = 0, clip = 0;
+  for (const auto& e : bt.edges) (e.is_clip ? clip : subject)++;
+  EXPECT_EQ(subject, 10u);
+  EXPECT_EQ(clip, 12u);
+}
+
+TEST(Bounds, EveryEdgeAppearsExactlyOnce) {
+  // Total bound edges == total input vertices (each ring edge belongs to
+  // exactly one ascending bound, descending ones reversed).
+  for (int n : {6, 13, 27, 50}) {
+    const auto p = test::random_polygon(static_cast<std::uint64_t>(n), n, 0,
+                                        0, 10);
+    EXPECT_EQ(table_for(p).edges.size(), static_cast<std::size_t>(n));
+  }
+}
+
+TEST(Bounds, MaximaTerminateChains) {
+  const BoundTable bt = table_for(test::random_polygon(21, 36, 0, 0, 10));
+  // Count chain ends (-1 next): equals count of bounds == 2 * minima.
+  std::size_t ends = 0;
+  for (const auto& e : bt.edges)
+    if (e.next < 0) ++ends;
+  EXPECT_EQ(ends, 2 * bt.minima.size());
+}
+
+TEST(Bounds, ScanbeamYsSortedDistinct) {
+  const BoundTable bt = table_for(test::random_polygon(33, 25, 0, 0, 10),
+                                  test::random_polygon(34, 25, 2, 1, 9));
+  const auto ys = scanbeam_ys(bt);
+  for (std::size_t i = 1; i < ys.size(); ++i) EXPECT_LT(ys[i - 1], ys[i]);
+  // All edge endpoints are scanlines.
+  for (const auto& e : bt.edges) {
+    EXPECT_TRUE(std::binary_search(ys.begin(), ys.end(), e.bot.y));
+    EXPECT_TRUE(std::binary_search(ys.begin(), ys.end(), e.top.y));
+  }
+}
+
+TEST(Bounds, DegenerateContoursSkipped) {
+  PolygonSet p;
+  p.add({{0, 0}, {1, 1}});          // too small
+  p.add({{0, 0}, {4, 1}, {2, 5}});  // fine
+  const BoundTable bt = table_for(p);
+  EXPECT_EQ(bt.edges.size(), 3u);
+}
+
+}  // namespace
+}  // namespace psclip::seq

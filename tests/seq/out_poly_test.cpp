@@ -1,0 +1,137 @@
+#include "seq/out_poly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace psclip::seq {
+namespace {
+
+using geom::Point;
+
+TEST(OutPolyPool, SingleTriangleLifecycle) {
+  OutPolyPool pool;
+  // Minimum at (0,0); edge 1 owns the front, edge 2 the back.
+  const auto id = pool.create({0, 0}, false, 1, 2);
+  pool.extend(id, 1, {-1, 1});  // front grows left side
+  pool.extend(id, 2, {1, 1});   // back grows right side
+  pool.close(id, 1, id, 2, {0, 2});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].size(), 4u);
+  EXPECT_GT(geom::signed_area(out.contours[0]), 0.0);  // exterior: CCW
+}
+
+TEST(OutPolyPool, UnclosedPolysAreNotHarvested) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, false, 1, 2);
+  pool.extend(id, 1, {-1, 1});
+  EXPECT_TRUE(pool.harvest().empty());
+}
+
+TEST(OutPolyPool, MergeTwoPartialsBackToFront) {
+  OutPolyPool pool;
+  const auto a = pool.create({0, 0}, false, 1, 2);
+  const auto b = pool.create({4, 0}, false, 3, 4);
+  pool.extend(a, 1, {-1, 2});
+  pool.extend(a, 2, {1, 2});
+  pool.extend(b, 3, {3, 2});
+  pool.extend(b, 4, {5, 2});
+  // a's back (edge 2) meets b's front (edge 3) at (2, 3).
+  pool.close(a, 2, b, 3, {2, 3});
+  EXPECT_EQ(pool.resolve(a), pool.resolve(b));
+  // Close the surviving ring with the remaining ends.
+  pool.close(pool.resolve(a), 1, pool.resolve(b), 4, {2, 5});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].size(), 8u);
+}
+
+TEST(OutPolyPool, MergeSamePolarityReverses) {
+  // Two partials meeting front-to-front: the pool must reverse one list
+  // instead of producing a corrupted chain.
+  OutPolyPool pool;
+  const auto a = pool.create({0, 0}, false, 1, 2);
+  const auto b = pool.create({4, 0}, false, 3, 4);
+  pool.extend(a, 1, {-1, 2});
+  pool.extend(b, 3, {3, 2});
+  pool.close(a, 1, b, 3, {1, 3});  // front meets front
+  const auto merged = pool.resolve(a);
+  EXPECT_EQ(merged, pool.resolve(b));
+  pool.close(merged, 2, merged, 4, {2, 4});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  // All six points present.
+  EXPECT_EQ(out.contours[0].size(), 6u);
+}
+
+TEST(OutPolyPool, HoleFlagFollowsLowestMinimum) {
+  OutPolyPool pool;
+  // A hole-start partial created above a regular partial: when merged,
+  // the surviving ring keeps the flag of the *lower* origin.
+  const auto lo = pool.create({0, 0}, false, 1, 2);
+  const auto hi = pool.create({1, 5}, true, 3, 4);
+  pool.close(lo, 2, hi, 3, {2, 6});
+  pool.close(pool.resolve(lo), 1, pool.resolve(hi), 4, {0, 7});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_FALSE(out.contours[0].hole);
+  EXPECT_GT(geom::signed_area(out.contours[0]), 0.0);
+}
+
+TEST(OutPolyPool, HoleContoursComeOutClockwise) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, true, 1, 2);
+  pool.extend(id, 1, {-1, 1});
+  pool.extend(id, 2, {1, 1});
+  pool.close(id, 1, id, 2, {0, 2});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_TRUE(out.contours[0].hole);
+  EXPECT_LT(geom::signed_area(out.contours[0]), 0.0);
+}
+
+TEST(OutPolyPool, LocateEndAndExtendReassign) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, false, 10, 20);
+  const auto front = pool.locate_end(id, 10);
+  const auto back = pool.locate_end(id, 20);
+  EXPECT_TRUE(front.front);
+  EXPECT_FALSE(back.front);
+  pool.extend_reassign_end(front, {-1, 1}, 11);
+  pool.extend_reassign_end(back, {1, 1}, 21);
+  // Old owners are gone; new ones extend.
+  pool.extend(id, 11, {-2, 2});
+  pool.extend(id, 21, {2, 2});
+  pool.close(id, 11, id, 21, {0, 3});
+  EXPECT_EQ(pool.harvest().contours[0].size(), 6u);
+}
+
+TEST(OutPolyPool, ExtendReassignMovesOwnership) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, false, 1, 2);
+  pool.extend_reassign(id, 1, {-1, 1}, 5);  // edge 5 now owns the front
+  pool.extend(id, 5, {-2, 2});
+  pool.close(id, 5, id, 2, {0, 3});
+  const auto out = pool.harvest();
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].size(), 4u);
+}
+
+TEST(OutPolyPool, HarvestDropsDegenerateRings) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, false, 1, 2);
+  pool.close(id, 1, id, 2, {0, 0});  // single repeated point
+  EXPECT_TRUE(pool.harvest().empty());
+}
+
+TEST(OutPolyPool, MinAreaFilter) {
+  OutPolyPool pool;
+  const auto id = pool.create({0, 0}, false, 1, 2);
+  pool.extend(id, 1, {-0.001, 0.001});
+  pool.extend(id, 2, {0.001, 0.001});
+  pool.close(id, 1, id, 2, {0, 0.002});
+  EXPECT_EQ(pool.harvest(0.0).num_contours(), 1u);
+  EXPECT_EQ(pool.harvest(1.0).num_contours(), 0u);
+}
+
+}  // namespace
+}  // namespace psclip::seq

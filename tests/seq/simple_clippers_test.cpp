@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/area_oracle.hpp"
+#include "seq/greiner_hormann.hpp"
+#include "seq/liang_barsky.hpp"
+#include "seq/rect_clip.hpp"
+#include "seq/sutherland_hodgman.hpp"
+#include "test_support.hpp"
+
+namespace psclip::seq {
+namespace {
+
+using geom::BoolOp;
+using geom::Contour;
+using geom::Point;
+using geom::PolygonSet;
+
+// ---------------------------------------------------------------- SH ----
+
+TEST(SutherlandHodgman, SquareClipsTriangle) {
+  const Contour win = geom::make_rect(0, 0, 4, 4);
+  const Contour tri{{{-2, 1}, {6, 1}, {2, 9}}, false};
+  const Contour out = sutherland_hodgman(tri, win);
+  PolygonSet t, w;
+  t.contours.push_back(tri);
+  w.contours.push_back(win);
+  EXPECT_NEAR(std::fabs(geom::signed_area(out)),
+              geom::boolean_area_oracle(t, w, BoolOp::kIntersection), 1e-9);
+}
+
+TEST(SutherlandHodgman, SubjectInsideWindowUnchanged) {
+  const Contour win = geom::make_rect(-10, -10, 10, 10);
+  const Contour tri{{{0, 0}, {2, 0}, {1, 2}}, false};
+  const Contour out = sutherland_hodgman(tri, win);
+  EXPECT_NEAR(geom::signed_area(out), geom::signed_area(tri), 1e-12);
+}
+
+TEST(SutherlandHodgman, DisjointYieldsEmpty) {
+  const Contour win = geom::make_rect(0, 0, 1, 1);
+  const Contour tri{{{5, 5}, {6, 5}, {5, 6}}, false};
+  EXPECT_LT(sutherland_hodgman(tri, win).size(), 3u);
+}
+
+TEST(SutherlandHodgman, ClockwiseClipNormalized) {
+  Contour win = geom::make_rect(0, 0, 4, 4);
+  geom::reverse(win);  // clockwise clip ring must still work
+  const Contour tri{{{-2, 1}, {6, 1}, {2, 9}}, false};
+  EXPECT_GT(std::fabs(geom::signed_area(sutherland_hodgman(tri, win))), 1.0);
+}
+
+TEST(SutherlandHodgman, ClipAgainstConvexPentagon) {
+  std::uint64_t seed = 77;
+  const PolygonSet subject = test::random_polygon(seed, 24, 0, 0, 10);
+  const Contour penta{{{-6, -6}, {6, -6}, {9, 2}, {0, 9}, {-9, 2}}, false};
+  PolygonSet w;
+  w.contours.push_back(penta);
+  const PolygonSet out = sutherland_hodgman(subject, penta);
+  EXPECT_NEAR(geom::even_odd_area(out),
+              geom::boolean_area_oracle(subject, w, BoolOp::kIntersection),
+              1e-6);
+}
+
+// ---------------------------------------------------------------- LB ----
+
+TEST(LiangBarsky, SegmentFullyInside) {
+  const geom::BBox r{0, 0, 10, 10};
+  const auto s = liang_barsky_segment(r, {1, 1}, {9, 9});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->first, (Point{1, 1}));
+  EXPECT_EQ(s->second, (Point{9, 9}));
+}
+
+TEST(LiangBarsky, SegmentCrossingIsTrimmed) {
+  const geom::BBox r{0, 0, 10, 10};
+  const auto s = liang_barsky_segment(r, {-5, 5}, {15, 5});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(s->first.x, 0.0, 1e-12);
+  EXPECT_NEAR(s->second.x, 10.0, 1e-12);
+}
+
+TEST(LiangBarsky, SegmentMissing) {
+  const geom::BBox r{0, 0, 10, 10};
+  EXPECT_FALSE(liang_barsky_segment(r, {-5, 20}, {15, 20}).has_value());
+  EXPECT_FALSE(liang_barsky_segment(r, {-5, -1}, {-1, 15}).has_value());
+}
+
+TEST(LiangBarsky, DiagonalThroughCorner) {
+  const geom::BBox r{0, 0, 10, 10};
+  const auto s = liang_barsky_segment(r, {-5, -5}, {15, 15});
+  ASSERT_TRUE(s.has_value());
+  EXPECT_NEAR(s->first.x, 0.0, 1e-12);
+  EXPECT_NEAR(s->second.x, 10.0, 1e-12);
+}
+
+TEST(LiangBarsky, PolygonMatchesOracle) {
+  const PolygonSet subject = test::random_polygon(31, 18, 0, 0, 10);
+  const geom::BBox r{-4, -3, 5, 6};
+  PolygonSet rect;
+  rect.contours.push_back(geom::make_rect(r.xmin, r.ymin, r.xmax, r.ymax));
+  EXPECT_NEAR(
+      geom::even_odd_area(liang_barsky_polygon(subject, r)),
+      geom::boolean_area_oracle(subject, rect, BoolOp::kIntersection), 1e-6);
+}
+
+// ---------------------------------------------------------------- GH ----
+
+class GhOps : public ::testing::TestWithParam<int> {};
+
+TEST_P(GhOps, MatchesOracleOnRandomSimplePolygons) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  const PolygonSet a = test::random_polygon(seed * 2 + 1, 12, 0, 0, 10);
+  const PolygonSet b = test::random_polygon(seed * 2 + 2, 9, 2, 1, 8);
+  for (const BoolOp op : geom::kAllOps) {
+    const PolygonSet g =
+        greiner_hormann(a.contours[0], b.contours[0], op);
+    const double got = geom::even_odd_area(g);
+    const double want = geom::boolean_area_oracle(a, b, op);
+    EXPECT_TRUE(test::areas_match(got, want))
+        << geom::to_string(op) << " got=" << got << " want=" << want;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GhOps, ::testing::Range(1, 31));
+
+TEST(GreinerHormann, NoIntersectionCases) {
+  const Contour outer = geom::make_rect(0, 0, 10, 10);
+  const Contour inner = geom::make_rect(3, 3, 5, 5);
+  const Contour far = geom::make_rect(20, 20, 22, 22);
+  // Contained.
+  EXPECT_NEAR(geom::even_odd_area(
+                  greiner_hormann(inner, outer, BoolOp::kIntersection)),
+              4.0, 1e-9);
+  EXPECT_NEAR(
+      geom::even_odd_area(greiner_hormann(outer, inner, BoolOp::kDifference)),
+      96.0, 1e-9);
+  EXPECT_NEAR(
+      geom::even_odd_area(greiner_hormann(inner, outer, BoolOp::kDifference)),
+      0.0, 1e-9);
+  // Disjoint.
+  EXPECT_NEAR(geom::even_odd_area(
+                  greiner_hormann(outer, far, BoolOp::kIntersection)),
+              0.0, 1e-9);
+  EXPECT_NEAR(
+      geom::even_odd_area(greiner_hormann(outer, far, BoolOp::kUnion)),
+      104.0, 1e-9);
+}
+
+TEST(GreinerHormann, MultipleResultRings) {
+  // A tall subject crossing a wide clip: intersection is one ring, XOR
+  // is four.
+  const Contour tall = geom::make_rect(4, 0, 6, 10);
+  const Contour wide = geom::make_rect(0, 4, 10, 6);
+  EXPECT_EQ(greiner_hormann(tall, wide, BoolOp::kIntersection).num_contours(),
+            1u);
+  EXPECT_NEAR(geom::even_odd_area(
+                  greiner_hormann(tall, wide, BoolOp::kXor)),
+              32.0, 1e-9);
+}
+
+// ---------------------------------------------------------- rect_clip ----
+
+class RectClipMethods : public ::testing::TestWithParam<RectClipMethod> {};
+
+TEST_P(RectClipMethods, MatchesOracle) {
+  const PolygonSet subject = test::random_polygon(55, 30, 0, 0, 10);
+  const geom::BBox r{-5, -4, 4, 3};
+  PolygonSet rect;
+  rect.contours.push_back(geom::make_rect(r.xmin, r.ymin, r.xmax, r.ymax));
+  const PolygonSet out = rect_clip(subject, r, GetParam());
+  EXPECT_NEAR(
+      geom::even_odd_area(out),
+      geom::boolean_area_oracle(subject, rect, BoolOp::kIntersection), 1e-5);
+}
+
+TEST_P(RectClipMethods, FastPathsInsideAndOutside) {
+  PolygonSet subject;
+  subject.add({{1, 1}, {2, 1}, {1.5, 2}});     // fully inside
+  subject.add({{50, 50}, {51, 50}, {50, 51}}); // fully outside
+  const PolygonSet out = rect_clip(subject, {0, 0, 10, 10}, GetParam());
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_NEAR(geom::signed_area(out), 0.5, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, RectClipMethods,
+                         ::testing::Values(RectClipMethod::kGreinerHormann,
+                                           RectClipMethod::kVatti,
+                                           RectClipMethod::kSutherlandHodgman));
+
+TEST(RectClip, MethodNames) {
+  EXPECT_STREQ(to_string(RectClipMethod::kGreinerHormann), "GH");
+  EXPECT_STREQ(to_string(RectClipMethod::kVatti), "Vatti");
+  EXPECT_STREQ(to_string(RectClipMethod::kSutherlandHodgman), "SH");
+}
+
+}  // namespace
+}  // namespace psclip::seq

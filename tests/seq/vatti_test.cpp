@@ -1,0 +1,193 @@
+#include "seq/vatti.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/area_oracle.hpp"
+#include "geom/intersect.hpp"
+#include "geom/perturb.hpp"
+#include "geom/point_in_polygon.hpp"
+#include "test_support.hpp"
+
+namespace psclip::seq {
+namespace {
+
+using geom::BoolOp;
+using geom::PolygonSet;
+
+PolygonSet square(double x0, double y0, double s) {
+  return geom::make_polygon(
+      {{x0, y0}, {x0 + s, y0}, {x0 + s, y0 + s}, {x0, y0 + s}});
+}
+
+double vatti_area(const PolygonSet& a, const PolygonSet& b, BoolOp op) {
+  return geom::signed_area(vatti_clip(a, b, op));
+}
+
+TEST(Vatti, OverlappingSquaresAllOps) {
+  const PolygonSet a = square(0, 0, 10), b = square(5, 5, 10);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kIntersection), 25.0, 1e-5);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kUnion), 175.0, 1e-5);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kDifference), 75.0, 1e-5);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kXor), 150.0, 1e-5);
+}
+
+TEST(Vatti, DisjointSquares) {
+  const PolygonSet a = square(0, 0, 4), b = square(10, 10, 3);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kIntersection), 0.0, 1e-9);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kUnion), 25.0, 1e-5);
+  EXPECT_EQ(vatti_clip(a, b, BoolOp::kUnion).num_contours(), 2u);
+  EXPECT_EQ(vatti_clip(a, b, BoolOp::kIntersection).num_contours(), 0u);
+}
+
+TEST(Vatti, ContainedSquareProducesHole) {
+  const PolygonSet outer = square(0, 0, 10), inner = square(3, 3, 2);
+  const PolygonSet diff = vatti_clip(outer, inner, BoolOp::kDifference);
+  EXPECT_NEAR(geom::signed_area(diff), 96.0, 1e-5);
+  ASSERT_EQ(diff.num_contours(), 2u);
+  int holes = 0;
+  for (const auto& c : diff.contours) {
+    if (c.hole) {
+      ++holes;
+      EXPECT_LT(geom::signed_area(c), 0.0);  // holes are clockwise
+    } else {
+      EXPECT_GT(geom::signed_area(c), 0.0);
+    }
+  }
+  EXPECT_EQ(holes, 1);
+  // A point between the rings is in the result; inside the hole is not.
+  EXPECT_TRUE(geom::point_in_polygon({1, 1}, diff));
+  EXPECT_FALSE(geom::point_in_polygon({4, 4}, diff));
+}
+
+TEST(Vatti, EmptyInputs) {
+  const PolygonSet a = square(0, 0, 4), none;
+  EXPECT_TRUE(vatti_clip(a, none, BoolOp::kIntersection).empty());
+  EXPECT_NEAR(vatti_area(a, none, BoolOp::kUnion), 16.0, 1e-5);
+  EXPECT_NEAR(vatti_area(a, none, BoolOp::kDifference), 16.0, 1e-5);
+  EXPECT_NEAR(vatti_area(none, a, BoolOp::kDifference), 0.0, 1e-9);
+  EXPECT_TRUE(vatti_clip(none, none, BoolOp::kUnion).empty());
+}
+
+TEST(Vatti, SelfIntersectingBowtieEvenOdd) {
+  // Bowtie lobes are interior under even-odd; intersect with a square
+  // covering only the left lobe.
+  const PolygonSet bow =
+      geom::make_polygon({{0, 0}, {4, 2}, {4, 0}, {0, 2}});
+  // Window placed in general position (the crossing point and the ring
+  // vertices stay off the window boundary).
+  const PolygonSet win = square(0.13, 0.07, 2.1);
+  const double want =
+      geom::boolean_area_oracle(bow, win, BoolOp::kIntersection);
+  EXPECT_NEAR(vatti_area(bow, win, BoolOp::kIntersection), want, 1e-6);
+}
+
+TEST(Vatti, NormalizeSelfIntersectingViaEmptyClip) {
+  // UNION against nothing decomposes a self-intersecting ring into simple
+  // contours with the same even-odd region.
+  const PolygonSet bow =
+      geom::make_polygon({{0, 0}, {4, 2}, {4, 0}, {0, 2}});
+  const PolygonSet norm = vatti_clip(bow, {}, BoolOp::kUnion);
+  EXPECT_EQ(norm.num_contours(), 2u);  // two lobes
+  EXPECT_NEAR(geom::signed_area(norm), geom::even_odd_area(bow), 1e-6);
+}
+
+TEST(Vatti, StatsAreFilled) {
+  VattiStats st;
+  vatti_clip(square(0, 0, 10), square(5, 5, 10), BoolOp::kIntersection, &st);
+  EXPECT_EQ(st.edges, 8);
+  EXPECT_EQ(st.intersections, 2);
+  EXPECT_GT(st.scanbeams, 0);
+  EXPECT_GT(st.output_vertices, 0);
+  EXPECT_GE(st.max_aet, 2);
+}
+
+TEST(Vatti, OutputContoursAreSimple) {
+  // Result rings must not self-intersect, even for self-intersecting
+  // inputs (this pinned down a real bug during development).
+  const PolygonSet a = test::random_polygon(48 * 4 + 1, 20, 0, 0, 10, true);
+  const PolygonSet b = test::random_polygon(48 * 4 + 2, 16, 1, -1, 8, false);
+  const PolygonSet r = vatti_clip(a, b, BoolOp::kXor);
+  for (const auto& c : r.contours) {
+    const std::size_t n = c.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const auto x = geom::segment_intersection(
+            c[i], c[(i + 1) % n], c[j], c[(j + 1) % n]);
+        EXPECT_NE(x.relation, geom::SegmentRelation::kProper)
+            << "ring self-crossing at edges " << i << "," << j;
+      }
+    }
+  }
+}
+
+TEST(Vatti, MultiContourInputs) {
+  PolygonSet a = square(0, 0, 4);
+  a.contours.push_back(geom::make_rect(6, 0, 10, 4));
+  PolygonSet b = square(2, 1, 6);
+  const double want = geom::boolean_area_oracle(a, b, BoolOp::kIntersection);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kIntersection), want, 1e-6);
+}
+
+TEST(Vatti, SharedEdgeSquaresUnion) {
+  // Degenerate: squares sharing a full edge. Perturbation resolves the
+  // coincidence; the union area must still be exact to perturbation order.
+  const PolygonSet a = square(0, 0, 4), b = square(4, 0, 4);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kUnion), 32.0, 1e-3);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kIntersection), 0.0, 1e-3);
+}
+
+TEST(Vatti, NearIdenticalSquaresViaJitter) {
+  // Exactly coincident subject/clip edges are outside the general-position
+  // contract (as for GPC); the documented workflow jitters one input.
+  const PolygonSet a = square(0, 0, 5);
+  PolygonSet b = a;
+  geom::jitter(b, 1e-7, 12345);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kIntersection), 25.0, 1e-3);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kUnion), 25.0, 1e-3);
+  EXPECT_NEAR(vatti_area(a, b, BoolOp::kDifference), 0.0, 1e-3);
+}
+
+TEST(Vatti, ConcaveChevronThroughSquare) {
+  const PolygonSet chevron =
+      geom::make_polygon({{0, 0}, {10, 0.3}, {10, 8}, {5, 3}, {0.2, 8.4}});
+  const PolygonSet win = square(2, 1, 6);
+  for (const BoolOp op : geom::kAllOps) {
+    const double want = geom::boolean_area_oracle(chevron, win, op);
+    EXPECT_NEAR(vatti_area(chevron, win, op), want, 1e-6 * (1.0 + want))
+        << geom::to_string(op);
+  }
+}
+
+TEST(Vatti, VertexOnEdgeDegeneracyWithJitterRemedy) {
+  // Regression: the clip vertex (9,7) lies exactly on the subject edge
+  // y = x - 2 and the clip is self-intersecting — without jitter this
+  // exact coincidence is outside the general-position contract, and at
+  // one point it silently dropped entire result rings. The documented
+  // jitter remedy must recover the exact region.
+  const PolygonSet subject = geom::make_polygon(
+      {{0, 0}, {10, 0.3}, {10, 8}, {5, 3}, {0.2, 8.4}});
+  PolygonSet clip =
+      geom::make_polygon({{2, 1}, {9, 7}, {9, 1.4}, {2, 6.5}});
+  geom::jitter(clip, 1e-9, 42);
+  for (const BoolOp op : geom::kAllOps) {
+    const double got = vatti_area(subject, clip, op);
+    const double want = geom::boolean_area_oracle(subject, clip, op);
+    EXPECT_TRUE(test::areas_match(got, want, 1e-5))
+        << geom::to_string(op) << " got=" << got << " want=" << want;
+  }
+}
+
+TEST(Vatti, PipAgreementOnRandomCase) {
+  const PolygonSet a = test::random_polygon(101, 30, 0, 0, 10, false);
+  const PolygonSet b = test::random_polygon(102, 25, 2, 1, 9, true);
+  for (const BoolOp op : geom::kAllOps) {
+    const PolygonSet r = vatti_clip(a, b, op);
+    EXPECT_GT(test::pip_agreement(a, b, op, r, 4000, 999), 0.999)
+        << geom::to_string(op);
+  }
+}
+
+}  // namespace
+}  // namespace psclip::seq
