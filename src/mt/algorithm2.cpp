@@ -37,7 +37,9 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                            const geom::PolygonSet& clip, geom::BoolOp op,
                            par::ThreadPool& pool, const Alg2Options& opts,
                            Alg2Stats* stats) {
-  const unsigned p = opts.slabs ? opts.slabs : pool.size();
+  const unsigned p =
+      opts.slabs ? opts.slabs
+                 : pool.size() * std::max(1u, opts.oversubscribe);
   par::WallTimer phase_timer;
 
   // Steps 1-3: event ordinates, sorted, and the joint MBR.
@@ -65,30 +67,40 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     geom::PolygonSet result;
     SlabLoad load;
     double partition_seconds = 0.0;
+    int worker = -1;  ///< pool worker that executed the slab (-1 = caller)
   };
   std::vector<SlabOut> outs(nslabs);
   const double t_setup = phase_timer.seconds();
   phase_timer.reset();
 
-  pool.parallel_for(
-      nslabs,
-      [&](std::size_t t) {
-        SlabOut& so = outs[t];
-        par::WallTimer timer;
-        const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
-                              bounds[t + 1]};
-        geom::PolygonSet a_t = seq::rect_clip(subject, rect, opts.rect_method);
-        geom::PolygonSet b_t = seq::rect_clip(clip, rect, opts.rect_method);
-        so.partition_seconds = timer.seconds();
-        timer.reset();
-        seq::VattiStats vs;
-        so.result = seq::vatti_clip(a_t, b_t, op, &vs);
-        so.load.seconds = timer.seconds();
-        so.load.input_edges =
-            static_cast<std::int64_t>(a_t.num_vertices() + b_t.num_vertices());
-        so.load.output_vertices = vs.output_vertices;
-      },
-      /*grain=*/1);
+  // One stealable task per slab. Every worker starts with its round-robin
+  // share; whoever drains its deque first steals half of a busy worker's
+  // queued slabs, so oversubscribed decompositions (nslabs > pool.size())
+  // self-balance without any cost model. The slab decomposition is fixed
+  // before scheduling and outs[] is indexed by slab, so the result is
+  // byte-identical regardless of which worker runs which slab.
+  const std::vector<par::StealStats> steal_before = pool.steal_stats();
+  par::TaskGroup group(pool);
+  for (std::size_t t = 0; t < nslabs; ++t) {
+    group.run([&, t] {
+      SlabOut& so = outs[t];
+      so.worker = pool.current_worker();
+      par::WallTimer timer;
+      const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
+                            bounds[t + 1]};
+      geom::PolygonSet a_t = seq::rect_clip(subject, rect, opts.rect_method);
+      geom::PolygonSet b_t = seq::rect_clip(clip, rect, opts.rect_method);
+      so.partition_seconds = timer.seconds();
+      timer.reset();
+      seq::VattiStats vs;
+      so.result = seq::vatti_clip(a_t, b_t, op, &vs);
+      so.load.seconds = timer.seconds();
+      so.load.input_edges =
+          static_cast<std::int64_t>(a_t.num_vertices() + b_t.num_vertices());
+      so.load.output_vertices = vs.output_vertices;
+    });
+  }
+  group.wait();
 
   const double t_par = phase_timer.seconds();
   phase_timer.reset();
@@ -105,6 +117,28 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     for (const auto& so : outs) {
       stats->slabs.push_back(so.load);
       partition_in_slabs += so.partition_seconds;
+    }
+    // Per-worker scheduling record: slot i < pool.size() is pool worker i,
+    // the last slot is the calling thread (which helps while waiting).
+    // Steal/idle numbers are pool-counter deltas, attributable to this run
+    // only when the pool is not shared with concurrent work.
+    const std::vector<par::StealStats> steal_after = pool.steal_stats();
+    stats->workers.assign(pool.size() + 1, WorkerLoad{});
+    for (const auto& so : outs) {
+      const std::size_t slot = so.worker >= 0
+                                   ? static_cast<std::size_t>(so.worker)
+                                   : pool.size();
+      WorkerLoad& w = stats->workers[slot];
+      ++w.slab_jobs;
+      w.busy_seconds += so.partition_seconds + so.load.seconds;
+    }
+    for (unsigned i = 0; i < pool.size(); ++i) {
+      WorkerLoad& w = stats->workers[i];
+      w.steals = steal_after[i].steals - steal_before[i].steals;
+      w.tasks_stolen =
+          steal_after[i].tasks_stolen - steal_before[i].tasks_stolen;
+      w.idle_seconds =
+          steal_after[i].idle_seconds - steal_before[i].idle_seconds;
     }
     // Attribute setup + the slabs' rectangle clipping to "partition",
     // the rest of the parallel section to "clip" (Fig. 9's categories).

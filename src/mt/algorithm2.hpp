@@ -10,9 +10,19 @@ namespace psclip::mt {
 
 /// Options for the multi-threaded slab clipper (Algorithm 2).
 struct Alg2Options {
-  /// Number of horizontal slabs (the paper uses one per thread). 0 = the
-  /// pool's thread count.
+  /// Number of horizontal slabs (the paper uses one per thread). 0 = derive
+  /// from the pool: oversubscribe × pool.size().
   unsigned slabs = 0;
+  /// Adaptive over-partitioning factor used when `slabs == 0`: the input is
+  /// cut into oversubscribe × p slabs and the slab jobs are scheduled on
+  /// the pool's work-stealing deques, so idle workers steal queued slabs
+  /// from busy ones. The paper's static one-slab-per-thread decomposition
+  /// (oversubscribe = 1) leaves workers idle while the heaviest slab
+  /// finishes (Fig. 11); a factor of ~4 trades a little extra rectangle
+  /// clipping for a much tighter per-worker load distribution. The slab
+  /// decomposition — and therefore the output — depends only on the
+  /// resulting slab count, never on scheduling order.
+  unsigned oversubscribe = 4;
   /// Clipper used for the rectangle-clipping Steps 4–5; the paper picks
   /// Greiner–Hormann after benchmarking it against GPC.
   seq::RectClipMethod rect_method = seq::RectClipMethod::kGreinerHormann;

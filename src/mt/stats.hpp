@@ -24,10 +24,23 @@ struct SlabLoad {
   std::int64_t output_vertices = 0;
 };
 
+/// Per-worker scheduling record for one Algorithm 2 run under the
+/// work-stealing slab scheduler: how much slab work each worker actually
+/// executed and how it got it. The last entry (index == pool size) is the
+/// calling thread, which helps drain the queue while it waits.
+struct WorkerLoad {
+  std::uint64_t slab_jobs = 0;     ///< slab tasks this worker executed
+  std::uint64_t steals = 0;        ///< steal-half operations (pool delta)
+  std::uint64_t tasks_stolen = 0;  ///< tasks acquired through those steals
+  double busy_seconds = 0.0;       ///< sum of executed slab partition+clip time
+  double idle_seconds = 0.0;       ///< pool idle-time delta over the run
+};
+
 /// Full instrumentation for one Algorithm 2 run.
 struct Alg2Stats {
   PhaseTimes phases;
   std::vector<SlabLoad> slabs;
+  std::vector<WorkerLoad> workers;  ///< slab scheduler only (see WorkerLoad)
   std::int64_t output_contours = 0;
   std::int64_t duplicates_removed = 0;  ///< multiset variant only
 
@@ -55,6 +68,29 @@ struct Alg2Stats {
       if (s.seconds > mx) mx = s.seconds;
     }
     return mx > 0.0 ? sum / mx : 1.0;
+  }
+
+  /// max(worker busy time) / mean(worker busy time) over workers that could
+  /// run slab jobs: 1.0 = every worker spent the same time clipping. This is
+  /// the quantity the work-stealing scheduler improves — slab times stay
+  /// skewed (Fig. 11), but oversubscription + stealing spreads them evenly
+  /// across workers.
+  [[nodiscard]] double worker_imbalance() const {
+    if (workers.empty()) return 1.0;
+    double sum = 0.0, mx = 0.0;
+    for (const auto& w : workers) {
+      sum += w.busy_seconds;
+      if (w.busy_seconds > mx) mx = w.busy_seconds;
+    }
+    const double mean = sum / static_cast<double>(workers.size());
+    return mean > 0.0 ? mx / mean : 1.0;
+  }
+
+  /// Total successful steal-half operations across workers for this run.
+  [[nodiscard]] std::uint64_t total_steals() const {
+    std::uint64_t s = 0;
+    for (const auto& w : workers) s += w.steals;
+    return s;
   }
 };
 

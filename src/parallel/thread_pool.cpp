@@ -3,17 +3,33 @@
 #include <algorithm>
 #include <exception>
 
+#include "parallel/timing.hpp"
+
 namespace psclip::par {
+namespace {
+
+/// Identity of the calling thread inside its owning pool. A plain pointer
+/// comparison keeps multiple pools (tests build many) independent.
+thread_local const void* t_pool = nullptr;
+thread_local unsigned t_worker = 0;
+
+}  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
   if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
   num_threads_ = threads;
+  deques_.reserve(threads);
+  counters_.reserve(threads);
+  for (unsigned i = 0; i < threads; ++i) {
+    deques_.push_back(std::make_unique<StealDeque>());
+    counters_.push_back(std::make_unique<WorkerCounters>());
+  }
   // The caller participates in parallel_for, so spawn size()-1 workers for
   // batch work plus enough to serve submit()-style tasks; we keep it simple
   // with size() dedicated workers (idle workers cost nothing measurable).
   workers_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -25,24 +41,101 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::current_worker() const {
+  return t_pool == this ? static_cast<int>(t_worker) : -1;
+}
+
+void ThreadPool::worker_loop(unsigned id) {
+  t_pool = this;
+  t_worker = id;
+  WorkerCounters& ctr = *counters_[id];
   for (;;) {
     std::function<void()> task;
+    bool have = false;
+    bool from_deque = false;
     {
       std::unique_lock lk(mu_);
-      cv_task_.wait(lk, [this] { return stop_ || !queue_.empty(); });
-      if (stop_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      ++active_;
+      if (queue_.empty() &&
+          stealable_.load(std::memory_order_relaxed) == 0 && !stop_) {
+        const WallTimer idle;
+        cv_task_.wait(lk, [this] {
+          return stop_ || !queue_.empty() ||
+                 stealable_.load(std::memory_order_relaxed) > 0;
+        });
+        ctr.idle_ns.fetch_add(static_cast<std::uint64_t>(idle.seconds() * 1e9),
+                              std::memory_order_relaxed);
+      }
+      if (!queue_.empty()) {
+        task = std::move(queue_.front());
+        queue_.pop_front();
+        have = true;
+        ++active_;  // covers the task until finish_task()
+      } else if (stealable_.load(std::memory_order_relaxed) > 0) {
+        from_deque = true;
+        ++active_;  // covers the not-yet-acquired deque task (see wait_idle)
+      } else if (stop_) {
+        return;  // both queue families drained
+      } else {
+        continue;  // spurious wakeup
+      }
+    }
+    if (from_deque) {
+      have = acquire_stealable(static_cast<int>(id), task);
+      if (!have) {
+        // The deques were drained between the check and the steal (or a
+        // push is still in flight); release the active slot and re-check.
+        finish_task();
+        std::this_thread::yield();
+        continue;
+      }
     }
     task();
-    {
-      std::lock_guard lk(mu_);
-      --active_;
-      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
-    }
+    ctr.tasks_run.fetch_add(1, std::memory_order_relaxed);
+    finish_task();
   }
+}
+
+bool ThreadPool::acquire_stealable(int self, std::function<void()>& task) {
+  if (self < 0) {
+    // External helper: no home deque to stash a batch in, take one task.
+    for (unsigned v = 0; v < num_threads_; ++v) {
+      if (deques_[v]->steal_one(task)) {
+        stealable_.fetch_sub(1, std::memory_order_acq_rel);
+        return true;
+      }
+    }
+    return false;
+  }
+  const auto id = static_cast<unsigned>(self);
+  if (deques_[id]->pop(task)) {
+    stealable_.fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+  WorkerCounters& ctr = *counters_[id];
+  for (unsigned k = 1; k < num_threads_; ++k) {
+    const unsigned v = (id + k) % num_threads_;
+    auto batch = deques_[v]->steal_half();
+    if (batch.empty()) continue;
+    ctr.steals.fetch_add(1, std::memory_order_relaxed);
+    ctr.tasks_stolen.fetch_add(batch.size(), std::memory_order_relaxed);
+    task = std::move(batch.front());
+    stealable_.fetch_sub(1, std::memory_order_acq_rel);
+    // The rest of the batch moves to our own deque; it stays counted in
+    // stealable_ throughout, so wait_idle/sleep predicates never miss it.
+    for (std::size_t i = 1; i < batch.size(); ++i)
+      deques_[id]->push(std::move(batch[i]));
+    if (batch.size() > 1) cv_task_.notify_one();
+    return true;
+  }
+  return false;
+}
+
+void ThreadPool::finish_task() {
+  std::lock_guard lk(mu_);
+  --active_;
+  if (active_ == 0 && queue_.empty() &&
+      stealable_.load(std::memory_order_relaxed) == 0)
+    cv_idle_.notify_all();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -53,9 +146,84 @@ void ThreadPool::submit(std::function<void()> task) {
   cv_task_.notify_one();
 }
 
+void ThreadPool::submit_stealable(std::function<void()> task) {
+  const unsigned target =
+      t_pool == this
+          ? t_worker
+          : rr_.fetch_add(1, std::memory_order_relaxed) % num_threads_;
+  // Count first, push second: sleep/idle predicates read stealable_ under
+  // mu_, so over-counting during the window is safe (a waker may spin once)
+  // while under-counting could strand the task until the next wakeup.
+  stealable_.fetch_add(1, std::memory_order_release);
+  deques_[target]->push(std::move(task));
+  {
+    // Empty critical section: a worker that evaluated its sleep predicate
+    // before our fetch_add cannot be *between* predicate and sleep here —
+    // it holds mu_ until the wait parks it. Pairs with the wait in
+    // worker_loop.
+    std::lock_guard lk(mu_);
+  }
+  cv_task_.notify_one();
+}
+
+bool ThreadPool::help_one() {
+  std::function<void()> task;
+  bool have = false;
+  {
+    std::lock_guard lk(mu_);
+    if (!queue_.empty()) {
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      have = true;
+      ++active_;
+    } else if (stealable_.load(std::memory_order_relaxed) > 0) {
+      ++active_;
+    } else {
+      return false;
+    }
+  }
+  if (!have) {
+    have = acquire_stealable(current_worker(), task);
+    if (!have) {
+      finish_task();
+      return false;
+    }
+  }
+  task();
+  if (t_pool == this)
+    counters_[t_worker]->tasks_run.fetch_add(1, std::memory_order_relaxed);
+  finish_task();
+  return true;
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lk(mu_);
-  cv_idle_.wait(lk, [this] { return queue_.empty() && active_ == 0; });
+  cv_idle_.wait(lk, [this] {
+    return queue_.empty() && active_ == 0 &&
+           stealable_.load(std::memory_order_relaxed) == 0;
+  });
+}
+
+std::vector<StealStats> ThreadPool::steal_stats() const {
+  std::vector<StealStats> out(num_threads_);
+  for (unsigned i = 0; i < num_threads_; ++i) {
+    const WorkerCounters& c = *counters_[i];
+    out[i].tasks_run = c.tasks_run.load(std::memory_order_relaxed);
+    out[i].steals = c.steals.load(std::memory_order_relaxed);
+    out[i].tasks_stolen = c.tasks_stolen.load(std::memory_order_relaxed);
+    out[i].idle_seconds =
+        static_cast<double>(c.idle_ns.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  return out;
+}
+
+void ThreadPool::reset_steal_stats() {
+  for (auto& c : counters_) {
+    c->tasks_run.store(0, std::memory_order_relaxed);
+    c->steals.store(0, std::memory_order_relaxed);
+    c->tasks_stolen.store(0, std::memory_order_relaxed);
+    c->idle_ns.store(0, std::memory_order_relaxed);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t n,

@@ -1,0 +1,90 @@
+#include "parallel/work_steal.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::par {
+
+void StealDeque::push(std::function<void()> task) {
+  std::lock_guard lk(mu_);
+  q_.push_back(std::move(task));
+}
+
+bool StealDeque::pop(std::function<void()>& task) {
+  std::lock_guard lk(mu_);
+  if (q_.empty()) return false;
+  task = std::move(q_.back());
+  q_.pop_back();
+  return true;
+}
+
+std::vector<std::function<void()>> StealDeque::steal_half() {
+  std::lock_guard lk(mu_);
+  std::vector<std::function<void()>> out;
+  if (q_.empty()) return out;
+  const std::size_t take = (q_.size() + 1) / 2;
+  out.reserve(take);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(std::move(q_.front()));
+    q_.pop_front();
+  }
+  return out;
+}
+
+bool StealDeque::steal_one(std::function<void()>& task) {
+  std::lock_guard lk(mu_);
+  if (q_.empty()) return false;
+  task = std::move(q_.front());
+  q_.pop_front();
+  return true;
+}
+
+std::size_t StealDeque::size() const {
+  std::lock_guard lk(mu_);
+  return q_.size();
+}
+
+TaskGroup::~TaskGroup() { drain(); }
+
+void TaskGroup::run(std::function<void()> task) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  pool_.submit_stealable([this, task = std::move(task)] {
+    // After a failure the remaining group tasks are skipped, not run —
+    // the same early-exit parallel_for applies to its chunks.
+    if (!failed_.load(std::memory_order_acquire)) {
+      try {
+        task();
+      } catch (...) {
+        std::lock_guard lk(eptr_mu_);
+        if (!failed_.exchange(true, std::memory_order_acq_rel))
+          eptr_ = std::current_exception();
+      }
+    }
+    pending_.fetch_sub(1, std::memory_order_acq_rel);
+  });
+}
+
+void TaskGroup::drain() {
+  // Help-first waiting: run queued tasks (any group's) instead of parking,
+  // so a group waited on from inside a pool task cannot deadlock the pool.
+  while (pending_.load(std::memory_order_acquire) > 0) {
+    if (!pool_.help_one()) std::this_thread::yield();
+  }
+}
+
+void TaskGroup::wait() {
+  drain();
+  if (failed_.load(std::memory_order_acquire)) {
+    std::exception_ptr e;
+    {
+      std::lock_guard lk(eptr_mu_);
+      e = std::exchange(eptr_, nullptr);
+    }
+    failed_.store(false, std::memory_order_release);  // group is reusable
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace psclip::par

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace psclip::par {
+
+class ThreadPool;
+
+/// Per-worker double-ended task queue for the work-stealing scheduler.
+///
+/// The owning worker pushes and pops at the back (hot end, LIFO — the most
+/// recently produced task is the most cache-warm), thieves remove from the
+/// front (cold end, FIFO — the oldest task is the least likely to share
+/// state with what the owner is doing). Stealing takes *half* the queue in
+/// one operation: with irregular task costs (the norm for slab clipping,
+/// cf. Fig. 11) a thief that grabbed a single task would be back at the
+/// victim's lock immediately, so steal-half amortizes the contention to
+/// O(log n) steals per n tasks.
+///
+/// A mutex per deque keeps the implementation obviously correct under TSan;
+/// the deques are only contended when a worker runs dry, which is exactly
+/// when it has nothing better to do than wait for the lock.
+class StealDeque {
+ public:
+  /// Owner side: enqueue at the hot end.
+  void push(std::function<void()> task);
+
+  /// Owner side: dequeue from the hot end. Returns false if empty.
+  bool pop(std::function<void()>& task);
+
+  /// Thief side: remove up to ceil(size/2) tasks from the cold end and
+  /// return them in submission order. Empty result = nothing to steal.
+  std::vector<std::function<void()>> steal_half();
+
+  /// Thief side: remove exactly one task from the cold end (used by
+  /// external helper threads that have no deque to stash a batch in).
+  bool steal_one(std::function<void()>& task);
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::function<void()>> q_;
+};
+
+/// Snapshot of one worker's scheduler counters (see
+/// ThreadPool::steal_stats). Counters accumulate from pool construction or
+/// the last reset_steal_stats(); callers interested in one parallel region
+/// diff two snapshots.
+struct StealStats {
+  std::uint64_t tasks_run = 0;     ///< tasks executed (both queue families)
+  std::uint64_t steals = 0;        ///< successful steal-half operations
+  std::uint64_t tasks_stolen = 0;  ///< tasks acquired through those steals
+  double idle_seconds = 0.0;       ///< time spent parked waiting for work
+};
+
+/// A group of stealable tasks with structured-concurrency semantics:
+/// every task submitted through run() has finished (or was skipped after a
+/// failure) by the time wait() returns. The waiting thread is not parked —
+/// it helps drain the pool's queues, so a TaskGroup can be used from inside
+/// another task without deadlocking the pool.
+///
+/// Exceptions: the first task to throw wins; later tasks in the group are
+/// skipped (their bodies never run) and wait() rethrows the winner. This
+/// mirrors ThreadPool::parallel_for's contract.
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+
+  /// Blocks (helping) until all tasks have drained; does NOT rethrow — call
+  /// wait() explicitly if you care about task exceptions.
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Submit one task to the pool's stealable queues. Thread-safe; may be
+  /// called from inside other tasks of the same group.
+  void run(std::function<void()> task);
+
+  /// Block until every submitted task has completed, helping to execute
+  /// queued tasks meanwhile. Rethrows the first task exception, if any.
+  /// May be called at most once per quiescent group, but run()/wait()
+  /// cycles may repeat.
+  void wait();
+
+ private:
+  void drain();
+
+  ThreadPool& pool_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::atomic<bool> failed_{false};
+  std::mutex eptr_mu_;
+  std::exception_ptr eptr_;
+};
+
+}  // namespace psclip::par

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <unordered_map>
@@ -57,7 +58,7 @@ class Sweep {
       const double yt = ys[i + 1];
       insert_minima(yb, next_min);
       if (validate_) validate_flags(yb, "after-minima");
-      process_intersections(yt);
+      process_intersections(yb, yt);
       process_top(yt);
       for (auto& a : aet_) a.xb = a.xt;
       if (validate_) validate_flags(yt, "after-beam");
@@ -187,7 +188,7 @@ class Sweep {
     return geom::x_at_y(e.bot, e.top, yt);
   }
 
-  void process_intersections(double yt) {
+  void process_intersections(double yb, double yt) {
     for (auto& a : aet_) a.xt = top_x(a, yt);
 
     // Phase 1 — enumerate the beam's crossings as the inversions between
@@ -211,9 +212,25 @@ class Sweep {
         while (j > 0 && ks[j].xt < ks[j - 1].xt) {
           const BoundEdge& eu = bt_.edges[static_cast<std::size_t>(ks[j - 1].e)];
           const BoundEdge& ev = bt_.edges[static_cast<std::size_t>(ks[j].e)];
-          events.push_back({ks[j - 1].e, ks[j].e,
-                            geom::line_intersection(eu.bot, eu.top, ev.bot,
-                                                    ev.top)});
+          Point p =
+              geom::line_intersection(eu.bot, eu.top, ev.bot, ev.top);
+          // A genuine crossing lies inside the beam up to rounding; allow
+          // one beam height of slack before distrusting the division.
+          const double slack = yt - yb;
+          if (!(p.y >= yb - slack && p.y <= yt + slack) ||
+              !std::isfinite(p.x)) {
+            // Nearly parallel edges (e.g. near-horizontals cut at a slab
+            // boundary) can invert in rounded x-order while their analytic
+            // intersection is far away or at infinity (cross(r,s)
+            // underflows). The swap is still required to restore the top
+            // x-order; emit at mid-beam, where the two edges sit within
+            // rounding of each other.
+            const double ym = 0.5 * (yb + yt);
+            const double xu = geom::x_at_y(eu.bot, eu.top, ym);
+            const double xv = geom::x_at_y(ev.bot, ev.top, ym);
+            p = {0.5 * (xu + xv), ym};
+          }
+          events.push_back({ks[j - 1].e, ks[j].e, p});
           std::swap(ks[j - 1], ks[j]);
           --j;
         }

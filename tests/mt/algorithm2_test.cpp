@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "geom/area_oracle.hpp"
+#include "seq/vatti.hpp"
 #include "test_support.hpp"
 
 namespace psclip::mt {
@@ -87,6 +90,59 @@ std::vector<A2Case> make_cases() {
 
 INSTANTIATE_TEST_SUITE_P(Random, Algorithm2Differential,
                          ::testing::ValuesIn(make_cases()));
+
+TEST(Algorithm2, OversubscribeSweepMatchesSequentialVatti) {
+  // The adaptive over-partitioning factor changes the slab count and the
+  // scheduling, never the clipped region: every setting must reproduce the
+  // sequential Vatti reference.
+  par::ThreadPool pool(4);
+  const PolygonSet a = test::random_polygon(911, 40, 0, 0, 10);
+  const PolygonSet b = test::random_polygon(912, 34, 1, -1, 9);
+  for (unsigned c : {1u, 2u, 4u, 8u}) {
+    Alg2Options o;
+    o.slabs = 0;  // derive: oversubscribe × pool.size()
+    o.oversubscribe = c;
+    for (const BoolOp op : geom::kAllOps) {
+      const double want = geom::signed_area(seq::vatti_clip(a, b, op));
+      Alg2Stats st;
+      const double got =
+          geom::signed_area(slab_clip(a, b, op, pool, o, &st));
+      EXPECT_TRUE(test::areas_match(got, want, 1e-5))
+          << geom::to_string(op) << " oversubscribe=" << c << " got=" << got
+          << " want=" << want;
+      EXPECT_LE(st.slabs.size(), static_cast<std::size_t>(c) * pool.size());
+      EXPECT_EQ(st.workers.size(), pool.size() + 1u);
+      std::uint64_t jobs = 0;
+      for (const auto& w : st.workers) jobs += w.slab_jobs;
+      EXPECT_EQ(jobs, st.slabs.size());
+    }
+  }
+}
+
+TEST(Algorithm2, OversubscribedOutputIsScheduleInvariant) {
+  // Same decomposition on 4 workers (stealing) and on 1 worker (serial):
+  // the outputs must match contour for contour, coordinate for coordinate.
+  par::ThreadPool pool4(4), pool1(1);
+  const PolygonSet a = test::random_polygon(921, 48, 0, 0, 10);
+  const PolygonSet b = test::random_polygon(922, 40, 1, 0, 9);
+  Alg2Options o;
+  o.slabs = 16;  // fixed slab count => identical slab boundaries
+  for (const BoolOp op : geom::kAllOps) {
+    const PolygonSet out4 = slab_clip(a, b, op, pool4, o);
+    const PolygonSet out1 = slab_clip(a, b, op, pool1, o);
+    ASSERT_EQ(out4.num_contours(), out1.num_contours()) << geom::to_string(op);
+    for (std::size_t i = 0; i < out4.contours.size(); ++i) {
+      const auto& c4 = out4.contours[i];
+      const auto& c1 = out1.contours[i];
+      ASSERT_EQ(c4.pts.size(), c1.pts.size()) << geom::to_string(op);
+      EXPECT_EQ(c4.hole, c1.hole);
+      for (std::size_t j = 0; j < c4.pts.size(); ++j) {
+        EXPECT_EQ(c4.pts[j].x, c1.pts[j].x);
+        EXPECT_EQ(c4.pts[j].y, c1.pts[j].y);
+      }
+    }
+  }
+}
 
 TEST(Algorithm2, StatsPhasesAndLoads) {
   par::ThreadPool pool(4);

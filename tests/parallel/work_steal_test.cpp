@@ -1,0 +1,233 @@
+// Property tests for the work-stealing slab scheduler: per-worker deques
+// with steal-half semantics behind ThreadPool, driven through the
+// TaskGroup structured-concurrency interface. The properties here are the
+// scheduler's contract with Algorithm 2: exactly-once execution under
+// forced contention, first-one-wins exception propagation, and wait_idle
+// never returning while stolen tasks are still in flight.
+
+#include "parallel/work_steal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace psclip::par {
+namespace {
+
+/// Busy-wait long enough for other workers to contend for the deques.
+void spin_for(std::chrono::microseconds us) {
+  const auto until = std::chrono::steady_clock::now() + us;
+  while (std::chrono::steady_clock::now() < until) std::this_thread::yield();
+}
+
+TEST(WorkSteal, EveryTaskRunsExactlyOnceUnderContention) {
+  // Tiny grain, many workers on few cores: maximal interleaving of pushes,
+  // pops and steals.
+  ThreadPool pool(8);
+  const std::size_t n = 5000;
+  std::vector<std::atomic<int>> hits(n);
+  TaskGroup group(pool);
+  for (std::size_t i = 0; i < n; ++i)
+    group.run([&hits, i] { hits[i].fetch_add(1, std::memory_order_relaxed); });
+  group.wait();
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(WorkSteal, TasksSubmittedFromInsideTasksRunExactlyOnce) {
+  // A producer task fans out onto its *own* deque (the hot end); the other
+  // workers can only get at that work by stealing half the queue at a time.
+  ThreadPool pool(4);
+  const std::size_t n = 512;
+  std::vector<std::atomic<int>> hits(n);
+  TaskGroup group(pool);
+  group.run([&] {
+    for (std::size_t i = 0; i < n; ++i)
+      group.run([&hits, i] {
+        spin_for(std::chrono::microseconds(20));
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+  });
+  group.wait();
+  for (std::size_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[i].load(), 1) << "task " << i;
+}
+
+TEST(WorkSteal, SingleProducerQueueGetsStolenFrom) {
+  ThreadPool pool(4);
+  const auto before = pool.steal_stats();
+  TaskGroup group(pool);
+  // All tasks funnel through one producer task, so they all land on one
+  // worker's deque; with 4 workers and slow tasks, the others must steal.
+  group.run([&] {
+    for (int i = 0; i < 256; ++i)
+      group.run([] { spin_for(std::chrono::microseconds(100)); });
+  });
+  group.wait();
+  const auto after = pool.steal_stats();
+  std::uint64_t steals = 0, stolen = 0;
+  for (unsigned i = 0; i < pool.size(); ++i) {
+    steals += after[i].steals - before[i].steals;
+    stolen += after[i].tasks_stolen - before[i].tasks_stolen;
+  }
+  EXPECT_GT(steals, 0u);
+  EXPECT_GE(stolen, steals);  // steal-half takes >= 1 task per operation
+}
+
+TEST(WorkSteal, ExceptionsPropagateFirstOneWins) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 64; ++i)
+    group.run([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      throw std::runtime_error("task " + std::to_string(i));
+    });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
+  }
+  // After the first failure the remaining bodies are skipped, never run.
+  EXPECT_GE(ran.load(), 1);
+  EXPECT_LE(ran.load(), 64);
+}
+
+TEST(WorkSteal, GroupIsReusableAfterExceptionAndAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  group.run([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(group.wait(), std::runtime_error);
+
+  std::atomic<int> done{0};
+  for (int i = 0; i < 16; ++i) group.run([&done] { ++done; });
+  group.wait();  // must not rethrow the already-consumed exception
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(WorkSteal, WaitIdleCannotReturnWithStolenTasksInFlight) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<int> completed{0};
+    const int n = 64;
+    // Raw submit_stealable (no TaskGroup): wait_idle is the only fence.
+    // Tasks are slow enough that several are still queued (and being
+    // stolen) when wait_idle is entered.
+    for (int i = 0; i < n; ++i)
+      pool.submit_stealable([&completed] {
+        spin_for(std::chrono::microseconds(50));
+        completed.fetch_add(1, std::memory_order_release);
+      });
+    pool.wait_idle();
+    ASSERT_EQ(completed.load(std::memory_order_acquire), n)
+        << "wait_idle returned with tasks in flight (round " << round << ")";
+  }
+}
+
+TEST(WorkSteal, ExternalThreadsCanSubmitAndHelp) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  const int per_thread = 200;
+  std::vector<std::thread> submitters;
+  TaskGroup group(pool);
+  for (int t = 0; t < 4; ++t) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < per_thread; ++i)
+        group.run([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    });
+  }
+  for (auto& s : submitters) s.join();
+  group.wait();  // the external caller helps drain via help_one
+  EXPECT_EQ(done.load(), 4 * per_thread);
+}
+
+TEST(WorkSteal, HelpOneReturnsFalseOnQuiescentPool) {
+  ThreadPool pool(2);
+  pool.wait_idle();
+  EXPECT_FALSE(pool.help_one());
+}
+
+TEST(WorkSteal, NestedGroupInsideTaskDoesNotDeadlock) {
+  // A slab job that itself fans out and waits: the inner wait() helps run
+  // queued tasks instead of parking, so this must finish even when every
+  // worker is blocked in an inner wait.
+  ThreadPool pool(2);
+  std::atomic<int> inner_done{0};
+  TaskGroup outer(pool);
+  for (int i = 0; i < 4; ++i) {
+    outer.run([&] {
+      TaskGroup inner(pool);
+      for (int j = 0; j < 8; ++j)
+        inner.run([&inner_done] {
+          inner_done.fetch_add(1, std::memory_order_relaxed);
+        });
+      inner.wait();
+    });
+  }
+  outer.wait();
+  EXPECT_EQ(inner_done.load(), 32);
+}
+
+TEST(WorkSteal, CurrentWorkerIdentifiesPoolThreads) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.current_worker(), -1);  // the test thread is external
+  std::atomic<int> bad{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 128; ++i)
+    group.run([&] {
+      const int w = pool.current_worker();
+      // Tasks run on pool workers or on the helping (external) caller.
+      if (w < -1 || w >= static_cast<int>(pool.size())) ++bad;
+    });
+  group.wait();
+  EXPECT_EQ(bad.load(), 0);
+}
+
+TEST(WorkSteal, StealStatsAccumulateAndReset) {
+  ThreadPool pool(2);
+  // wait_idle parks the caller (unlike TaskGroup::wait, which helps), so
+  // every task must be accounted for by a pool worker.
+  for (int i = 0; i < 64; ++i) pool.submit_stealable([] {});
+  pool.wait_idle();
+  std::uint64_t run = 0;
+  for (const auto& s : pool.steal_stats()) run += s.tasks_run;
+  EXPECT_EQ(run, 64u);
+  pool.reset_steal_stats();
+  for (const auto& s : pool.steal_stats()) {
+    EXPECT_EQ(s.tasks_run, 0u);
+    EXPECT_EQ(s.steals, 0u);
+    EXPECT_EQ(s.tasks_stolen, 0u);
+    EXPECT_EQ(s.idle_seconds, 0.0);
+  }
+}
+
+TEST(WorkSteal, MixesWithParallelForOnOnePool) {
+  // The central FIFO (parallel_for) and the steal deques (TaskGroup) share
+  // workers; running both concurrently must not lose tasks either way.
+  ThreadPool pool(4);
+  std::atomic<int> group_done{0};
+  std::atomic<int> for_done{0};
+  TaskGroup group(pool);
+  for (int i = 0; i < 128; ++i)
+    group.run([&group_done] {
+      spin_for(std::chrono::microseconds(10));
+      group_done.fetch_add(1, std::memory_order_relaxed);
+    });
+  pool.parallel_for(1000, [&for_done](std::size_t) {
+    for_done.fetch_add(1, std::memory_order_relaxed);
+  });
+  group.wait();
+  EXPECT_EQ(group_done.load(), 128);
+  EXPECT_EQ(for_done.load(), 1000);
+}
+
+}  // namespace
+}  // namespace psclip::par
