@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_assign.dir/bench_ablation_assign.cpp.o"
+  "CMakeFiles/bench_ablation_assign.dir/bench_ablation_assign.cpp.o.d"
+  "bench_ablation_assign"
+  "bench_ablation_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_clippers.dir/bench_ablation_clippers.cpp.o"
+  "CMakeFiles/bench_ablation_clippers.dir/bench_ablation_clippers.cpp.o.d"
+  "bench_ablation_clippers"
+  "bench_ablation_clippers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clippers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rectclip.dir/bench_ablation_rectclip.cpp.o"
+  "CMakeFiles/bench_ablation_rectclip.dir/bench_ablation_rectclip.cpp.o.d"
+  "bench_ablation_rectclip"
+  "bench_ablation_rectclip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rectclip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

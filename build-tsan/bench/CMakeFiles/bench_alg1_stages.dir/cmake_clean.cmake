@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg1_stages.dir/bench_alg1_stages.cpp.o"
+  "CMakeFiles/bench_alg1_stages.dir/bench_alg1_stages.cpp.o.d"
+  "bench_alg1_stages"
+  "bench_alg1_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg1_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_primitives.cpp" "bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o" "gcc" "bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/core/CMakeFiles/psclip_core.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/segtree/CMakeFiles/psclip_segtree.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/mt/CMakeFiles/psclip_mt.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/parallel/CMakeFiles/psclip_parallel.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/seq/CMakeFiles/psclip_seq.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/data/CMakeFiles/psclip_data.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/geom/CMakeFiles/psclip_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

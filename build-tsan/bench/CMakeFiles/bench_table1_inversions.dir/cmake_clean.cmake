@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_inversions.dir/bench_table1_inversions.cpp.o"
+  "CMakeFiles/bench_table1_inversions.dir/bench_table1_inversions.cpp.o.d"
+  "bench_table1_inversions"
+  "bench_table1_inversions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_inversions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_scanbeam.dir/bench_table2_scanbeam.cpp.o"
+  "CMakeFiles/bench_table2_scanbeam.dir/bench_table2_scanbeam.cpp.o.d"
+  "bench_table2_scanbeam"
+  "bench_table2_scanbeam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_scanbeam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csg_shapes.dir/csg_shapes.cpp.o"
+  "CMakeFiles/csg_shapes.dir/csg_shapes.cpp.o.d"
+  "csg_shapes"
+  "csg_shapes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csg_shapes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_overlay.dir/gis_overlay.cpp.o"
+  "CMakeFiles/gis_overlay.dir/gis_overlay.cpp.o.d"
+  "gis_overlay"
+  "gis_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_cli.dir/psclip_cli.cpp.o"
+  "CMakeFiles/psclip_cli.dir/psclip_cli.cpp.o.d"
+  "psclip_cli"
+  "psclip_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

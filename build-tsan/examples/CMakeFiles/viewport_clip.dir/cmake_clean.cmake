@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viewport_clip.dir/viewport_clip.cpp.o"
+  "CMakeFiles/viewport_clip.dir/viewport_clip.cpp.o.d"
+  "viewport_clip"
+  "viewport_clip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viewport_clip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for viewport_clip.
+# This may be replaced when dependencies are built.

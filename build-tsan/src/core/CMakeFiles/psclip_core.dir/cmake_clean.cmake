@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_core.dir/algorithm1.cpp.o"
+  "CMakeFiles/psclip_core.dir/algorithm1.cpp.o.d"
+  "CMakeFiles/psclip_core.dir/beam_sweep.cpp.o"
+  "CMakeFiles/psclip_core.dir/beam_sweep.cpp.o.d"
+  "CMakeFiles/psclip_core.dir/merge.cpp.o"
+  "CMakeFiles/psclip_core.dir/merge.cpp.o.d"
+  "CMakeFiles/psclip_core.dir/scanbeam.cpp.o"
+  "CMakeFiles/psclip_core.dir/scanbeam.cpp.o.d"
+  "libpsclip_core.a"
+  "libpsclip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_data.dir/gis_sim.cpp.o"
+  "CMakeFiles/psclip_data.dir/gis_sim.cpp.o.d"
+  "CMakeFiles/psclip_data.dir/synthetic.cpp.o"
+  "CMakeFiles/psclip_data.dir/synthetic.cpp.o.d"
+  "libpsclip_data.a"
+  "libpsclip_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

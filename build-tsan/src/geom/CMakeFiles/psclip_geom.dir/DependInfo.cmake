@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/area_oracle.cpp" "src/geom/CMakeFiles/psclip_geom.dir/area_oracle.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/area_oracle.cpp.o.d"
+  "/root/repo/src/geom/geojson.cpp" "src/geom/CMakeFiles/psclip_geom.dir/geojson.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/geojson.cpp.o.d"
+  "/root/repo/src/geom/intersect.cpp" "src/geom/CMakeFiles/psclip_geom.dir/intersect.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/intersect.cpp.o.d"
+  "/root/repo/src/geom/nesting.cpp" "src/geom/CMakeFiles/psclip_geom.dir/nesting.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/nesting.cpp.o.d"
+  "/root/repo/src/geom/perturb.cpp" "src/geom/CMakeFiles/psclip_geom.dir/perturb.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/perturb.cpp.o.d"
+  "/root/repo/src/geom/point_in_polygon.cpp" "src/geom/CMakeFiles/psclip_geom.dir/point_in_polygon.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/point_in_polygon.cpp.o.d"
+  "/root/repo/src/geom/polygon.cpp" "src/geom/CMakeFiles/psclip_geom.dir/polygon.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/polygon.cpp.o.d"
+  "/root/repo/src/geom/predicates.cpp" "src/geom/CMakeFiles/psclip_geom.dir/predicates.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/predicates.cpp.o.d"
+  "/root/repo/src/geom/svg.cpp" "src/geom/CMakeFiles/psclip_geom.dir/svg.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/svg.cpp.o.d"
+  "/root/repo/src/geom/validate.cpp" "src/geom/CMakeFiles/psclip_geom.dir/validate.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/validate.cpp.o.d"
+  "/root/repo/src/geom/wkt.cpp" "src/geom/CMakeFiles/psclip_geom.dir/wkt.cpp.o" "gcc" "src/geom/CMakeFiles/psclip_geom.dir/wkt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

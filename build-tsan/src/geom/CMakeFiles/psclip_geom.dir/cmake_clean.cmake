@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_geom.dir/area_oracle.cpp.o"
+  "CMakeFiles/psclip_geom.dir/area_oracle.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/geojson.cpp.o"
+  "CMakeFiles/psclip_geom.dir/geojson.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/intersect.cpp.o"
+  "CMakeFiles/psclip_geom.dir/intersect.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/nesting.cpp.o"
+  "CMakeFiles/psclip_geom.dir/nesting.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/perturb.cpp.o"
+  "CMakeFiles/psclip_geom.dir/perturb.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/point_in_polygon.cpp.o"
+  "CMakeFiles/psclip_geom.dir/point_in_polygon.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/polygon.cpp.o"
+  "CMakeFiles/psclip_geom.dir/polygon.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/predicates.cpp.o"
+  "CMakeFiles/psclip_geom.dir/predicates.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/svg.cpp.o"
+  "CMakeFiles/psclip_geom.dir/svg.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/validate.cpp.o"
+  "CMakeFiles/psclip_geom.dir/validate.cpp.o.d"
+  "CMakeFiles/psclip_geom.dir/wkt.cpp.o"
+  "CMakeFiles/psclip_geom.dir/wkt.cpp.o.d"
+  "libpsclip_geom.a"
+  "libpsclip_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_mt.dir/algorithm2.cpp.o"
+  "CMakeFiles/psclip_mt.dir/algorithm2.cpp.o.d"
+  "CMakeFiles/psclip_mt.dir/multiset.cpp.o"
+  "CMakeFiles/psclip_mt.dir/multiset.cpp.o.d"
+  "libpsclip_mt.a"
+  "libpsclip_mt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_mt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parallel/inversions.cpp" "src/parallel/CMakeFiles/psclip_parallel.dir/inversions.cpp.o" "gcc" "src/parallel/CMakeFiles/psclip_parallel.dir/inversions.cpp.o.d"
+  "/root/repo/src/parallel/scan.cpp" "src/parallel/CMakeFiles/psclip_parallel.dir/scan.cpp.o" "gcc" "src/parallel/CMakeFiles/psclip_parallel.dir/scan.cpp.o.d"
+  "/root/repo/src/parallel/thread_pool.cpp" "src/parallel/CMakeFiles/psclip_parallel.dir/thread_pool.cpp.o" "gcc" "src/parallel/CMakeFiles/psclip_parallel.dir/thread_pool.cpp.o.d"
+  "/root/repo/src/parallel/work_steal.cpp" "src/parallel/CMakeFiles/psclip_parallel.dir/work_steal.cpp.o" "gcc" "src/parallel/CMakeFiles/psclip_parallel.dir/work_steal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

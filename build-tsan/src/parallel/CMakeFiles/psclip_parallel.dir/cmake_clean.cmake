@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_parallel.dir/inversions.cpp.o"
+  "CMakeFiles/psclip_parallel.dir/inversions.cpp.o.d"
+  "CMakeFiles/psclip_parallel.dir/scan.cpp.o"
+  "CMakeFiles/psclip_parallel.dir/scan.cpp.o.d"
+  "CMakeFiles/psclip_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/psclip_parallel.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/psclip_parallel.dir/work_steal.cpp.o"
+  "CMakeFiles/psclip_parallel.dir/work_steal.cpp.o.d"
+  "libpsclip_parallel.a"
+  "libpsclip_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_segtree.dir/segment_tree.cpp.o"
+  "CMakeFiles/psclip_segtree.dir/segment_tree.cpp.o.d"
+  "libpsclip_segtree.a"
+  "libpsclip_segtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_segtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/bounds.cpp" "src/seq/CMakeFiles/psclip_seq.dir/bounds.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/bounds.cpp.o.d"
+  "/root/repo/src/seq/greiner_hormann.cpp" "src/seq/CMakeFiles/psclip_seq.dir/greiner_hormann.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/greiner_hormann.cpp.o.d"
+  "/root/repo/src/seq/liang_barsky.cpp" "src/seq/CMakeFiles/psclip_seq.dir/liang_barsky.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/liang_barsky.cpp.o.d"
+  "/root/repo/src/seq/martinez.cpp" "src/seq/CMakeFiles/psclip_seq.dir/martinez.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/martinez.cpp.o.d"
+  "/root/repo/src/seq/out_poly.cpp" "src/seq/CMakeFiles/psclip_seq.dir/out_poly.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/out_poly.cpp.o.d"
+  "/root/repo/src/seq/rect_clip.cpp" "src/seq/CMakeFiles/psclip_seq.dir/rect_clip.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/rect_clip.cpp.o.d"
+  "/root/repo/src/seq/sutherland_hodgman.cpp" "src/seq/CMakeFiles/psclip_seq.dir/sutherland_hodgman.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/sutherland_hodgman.cpp.o.d"
+  "/root/repo/src/seq/sweep_events.cpp" "src/seq/CMakeFiles/psclip_seq.dir/sweep_events.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/sweep_events.cpp.o.d"
+  "/root/repo/src/seq/vatti.cpp" "src/seq/CMakeFiles/psclip_seq.dir/vatti.cpp.o" "gcc" "src/seq/CMakeFiles/psclip_seq.dir/vatti.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/geom/CMakeFiles/psclip_geom.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psclip_seq.dir/bounds.cpp.o"
+  "CMakeFiles/psclip_seq.dir/bounds.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/greiner_hormann.cpp.o"
+  "CMakeFiles/psclip_seq.dir/greiner_hormann.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/liang_barsky.cpp.o"
+  "CMakeFiles/psclip_seq.dir/liang_barsky.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/martinez.cpp.o"
+  "CMakeFiles/psclip_seq.dir/martinez.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/out_poly.cpp.o"
+  "CMakeFiles/psclip_seq.dir/out_poly.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/rect_clip.cpp.o"
+  "CMakeFiles/psclip_seq.dir/rect_clip.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/sutherland_hodgman.cpp.o"
+  "CMakeFiles/psclip_seq.dir/sutherland_hodgman.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/sweep_events.cpp.o"
+  "CMakeFiles/psclip_seq.dir/sweep_events.cpp.o.d"
+  "CMakeFiles/psclip_seq.dir/vatti.cpp.o"
+  "CMakeFiles/psclip_seq.dir/vatti.cpp.o.d"
+  "libpsclip_seq.a"
+  "libpsclip_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psclip_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/area_oracle_test.dir/geom/area_oracle_test.cpp.o"
+  "CMakeFiles/area_oracle_test.dir/geom/area_oracle_test.cpp.o.d"
+  "area_oracle_test"
+  "area_oracle_test.pdb"
+  "area_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/area_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

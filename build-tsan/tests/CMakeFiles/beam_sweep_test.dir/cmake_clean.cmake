@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/beam_sweep_test.dir/core/beam_sweep_test.cpp.o"
+  "CMakeFiles/beam_sweep_test.dir/core/beam_sweep_test.cpp.o.d"
+  "beam_sweep_test"
+  "beam_sweep_test.pdb"
+  "beam_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/beam_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

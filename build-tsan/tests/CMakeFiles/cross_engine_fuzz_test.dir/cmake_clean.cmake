@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_engine_fuzz_test.dir/cross_engine_fuzz_test.cpp.o"
+  "CMakeFiles/cross_engine_fuzz_test.dir/cross_engine_fuzz_test.cpp.o.d"
+  "cross_engine_fuzz_test"
+  "cross_engine_fuzz_test.pdb"
+  "cross_engine_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_engine_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

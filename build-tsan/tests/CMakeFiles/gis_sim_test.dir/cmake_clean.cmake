@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gis_sim_test.dir/data/gis_sim_test.cpp.o"
+  "CMakeFiles/gis_sim_test.dir/data/gis_sim_test.cpp.o.d"
+  "gis_sim_test"
+  "gis_sim_test.pdb"
+  "gis_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gis_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

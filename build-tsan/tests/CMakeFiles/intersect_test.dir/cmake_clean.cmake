@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intersect_test.dir/geom/intersect_test.cpp.o"
+  "CMakeFiles/intersect_test.dir/geom/intersect_test.cpp.o.d"
+  "intersect_test"
+  "intersect_test.pdb"
+  "intersect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intersect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inversions_test.dir/parallel/inversions_test.cpp.o"
+  "CMakeFiles/inversions_test.dir/parallel/inversions_test.cpp.o.d"
+  "inversions_test"
+  "inversions_test.pdb"
+  "inversions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inversions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

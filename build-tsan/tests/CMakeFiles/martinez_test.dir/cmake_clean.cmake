@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/martinez_test.dir/seq/martinez_test.cpp.o"
+  "CMakeFiles/martinez_test.dir/seq/martinez_test.cpp.o.d"
+  "martinez_test"
+  "martinez_test.pdb"
+  "martinez_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/martinez_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multiset_test.dir/mt/multiset_test.cpp.o"
+  "CMakeFiles/multiset_test.dir/mt/multiset_test.cpp.o.d"
+  "multiset_test"
+  "multiset_test.pdb"
+  "multiset_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multiset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

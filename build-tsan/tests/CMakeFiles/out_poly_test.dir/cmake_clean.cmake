@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/out_poly_test.dir/seq/out_poly_test.cpp.o"
+  "CMakeFiles/out_poly_test.dir/seq/out_poly_test.cpp.o.d"
+  "out_poly_test"
+  "out_poly_test.pdb"
+  "out_poly_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/out_poly_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pip_test.dir/geom/pip_test.cpp.o"
+  "CMakeFiles/pip_test.dir/geom/pip_test.cpp.o.d"
+  "pip_test"
+  "pip_test.pdb"
+  "pip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predicates_test.dir/geom/predicates_test.cpp.o"
+  "CMakeFiles/predicates_test.dir/geom/predicates_test.cpp.o.d"
+  "predicates_test"
+  "predicates_test.pdb"
+  "predicates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predicates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scan_test.dir/parallel/scan_test.cpp.o"
+  "CMakeFiles/scan_test.dir/parallel/scan_test.cpp.o.d"
+  "scan_test"
+  "scan_test.pdb"
+  "scan_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scanbeam_test.dir/core/scanbeam_test.cpp.o"
+  "CMakeFiles/scanbeam_test.dir/core/scanbeam_test.cpp.o.d"
+  "scanbeam_test"
+  "scanbeam_test.pdb"
+  "scanbeam_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scanbeam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

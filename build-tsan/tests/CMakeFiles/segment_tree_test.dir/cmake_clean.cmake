@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_tree_test.dir/segtree/segment_tree_test.cpp.o"
+  "CMakeFiles/segment_tree_test.dir/segtree/segment_tree_test.cpp.o.d"
+  "segment_tree_test"
+  "segment_tree_test.pdb"
+  "segment_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

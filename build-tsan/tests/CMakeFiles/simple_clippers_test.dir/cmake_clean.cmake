@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simple_clippers_test.dir/seq/simple_clippers_test.cpp.o"
+  "CMakeFiles/simple_clippers_test.dir/seq/simple_clippers_test.cpp.o.d"
+  "simple_clippers_test"
+  "simple_clippers_test.pdb"
+  "simple_clippers_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simple_clippers_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

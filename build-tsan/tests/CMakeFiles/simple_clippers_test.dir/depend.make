@@ -1,0 +1,2 @@
+# Empty dependencies file for simple_clippers_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svg_test.dir/geom/svg_test.cpp.o"
+  "CMakeFiles/svg_test.dir/geom/svg_test.cpp.o.d"
+  "svg_test"
+  "svg_test.pdb"
+  "svg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

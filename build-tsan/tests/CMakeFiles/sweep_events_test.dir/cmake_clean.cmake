@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_events_test.dir/seq/sweep_events_test.cpp.o"
+  "CMakeFiles/sweep_events_test.dir/seq/sweep_events_test.cpp.o.d"
+  "sweep_events_test"
+  "sweep_events_test.pdb"
+  "sweep_events_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_events_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

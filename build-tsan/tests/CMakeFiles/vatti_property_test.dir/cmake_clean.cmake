@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vatti_property_test.dir/seq/vatti_property_test.cpp.o"
+  "CMakeFiles/vatti_property_test.dir/seq/vatti_property_test.cpp.o.d"
+  "vatti_property_test"
+  "vatti_property_test.pdb"
+  "vatti_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vatti_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vatti_test.dir/seq/vatti_test.cpp.o"
+  "CMakeFiles/vatti_test.dir/seq/vatti_test.cpp.o.d"
+  "vatti_test"
+  "vatti_test.pdb"
+  "vatti_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vatti_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

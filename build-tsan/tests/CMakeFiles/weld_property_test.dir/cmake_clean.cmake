@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/weld_property_test.dir/core/weld_property_test.cpp.o"
+  "CMakeFiles/weld_property_test.dir/core/weld_property_test.cpp.o.d"
+  "weld_property_test"
+  "weld_property_test.pdb"
+  "weld_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/weld_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

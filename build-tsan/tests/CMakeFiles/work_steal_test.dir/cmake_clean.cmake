@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/work_steal_test.dir/parallel/work_steal_test.cpp.o"
+  "CMakeFiles/work_steal_test.dir/parallel/work_steal_test.cpp.o.d"
+  "work_steal_test"
+  "work_steal_test.pdb"
+  "work_steal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/work_steal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
