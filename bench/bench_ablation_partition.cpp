@@ -1,7 +1,19 @@
-// Ablation: Step 2 edge partitioning — the paper's cover-list segment
-// tree (two-phase count/report, §III-E) versus direct per-edge binning.
-// Both are output-sensitive in k'; the segment tree bounds the *per-item*
-// work by O(log m) while direct binning pays O(beams spanned).
+// Ablation: the two partitioning layers.
+//
+// Section 1 — Algorithm 1 Step 2 edge partitioning: the paper's cover-list
+// segment tree (two-phase count/report, §III-E) versus direct per-edge
+// binning. Both are output-sensitive in k'; the segment tree bounds the
+// *per-item* work by O(log m) while direct binning pays O(beams spanned).
+//
+// Section 2 — Algorithm 2 Steps 4-5 slab partitioning: the slab-overlap
+// contour index (each slab rect-clips only the contours whose y-interval
+// overlaps it) versus the paper's broadcast formulation (every slab scans
+// both whole inputs, O(p·n)). `touched` counts input vertices the partition
+// step read — a deterministic, machine-noise-free measure of partition
+// work. With --json <path>, section 2 is mirrored to a machine-readable
+// report; the process exits nonzero if the index ever reads more input
+// than the broadcast scan at p >= 4 slabs or if the two paths disagree on
+// the output, which is what CI gates on.
 
 #include <cstdio>
 
@@ -9,8 +21,26 @@
 #include "core/scanbeam.hpp"
 #include "data/synthetic.hpp"
 #include "geom/perturb.hpp"
+#include "mt/algorithm2.hpp"
 
-int main() {
+namespace {
+
+bool identical(const psclip::geom::PolygonSet& a,
+               const psclip::geom::PolygonSet& b) {
+  if (a.num_contours() != b.num_contours()) return false;
+  for (std::size_t i = 0; i < a.contours.size(); ++i) {
+    if (a.contours[i].pts.size() != b.contours[i].pts.size()) return false;
+    for (std::size_t j = 0; j < a.contours[i].pts.size(); ++j)
+      if (a.contours[i].pts[j].x != b.contours[i].pts[j].x ||
+          a.contours[i].pts[j].y != b.contours[i].pts[j].y)
+        return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace psclip;
   bench::header("Ablation — Step 2 partitioning: segment tree vs direct binning",
                 "paper §III-E Step 2");
@@ -36,5 +66,86 @@ int main() {
                 static_cast<long long>(part.k_prime(bt.num_edges())),
                 t_tree * 1e3, t_direct * 1e3);
   }
-  return 0;
+
+  bench::header(
+      "Ablation — Alg 2 slab partition: contour interval index vs broadcast",
+      "paper Alg 2 Steps 4-5, made output-sensitive");
+
+  // Multi-contour overlay: two polygon-layer fields, the workload where
+  // per-slab contour selection matters (a single huge contour overlaps
+  // every slab and the index degenerates to the broadcast, by design).
+  const int field_count =
+      std::max(40, static_cast<int>(4000 * bench::dataset_scale()));
+  const geom::PolygonSet subject =
+      data::polygon_field(9001, field_count, 100.0, 12);
+  const geom::PolygonSet clip =
+      data::polygon_field(9002, field_count, 100.0, 10);
+  const auto total_verts =
+      static_cast<long long>(subject.num_vertices() + clip.num_vertices());
+  std::printf("workload: 2 x polygon_field(%d contours), %lld vertices\n\n",
+              field_count, total_verts);
+  std::printf("%6s | %14s %14s %8s | %12s %12s\n", "slabs", "touched(idx)",
+              "touched(bcast)", "ratio", "idx (ms)", "bcast (ms)");
+
+  bench::JsonReport report;
+  report.field("bench", std::string("ablation_partition"));
+  report.field("workload", std::string("polygon_field x2"));
+  report.field("contours_per_layer", static_cast<long long>(field_count));
+  report.field("total_vertices", total_verts);
+
+  bool gate_ok = true;
+  for (const unsigned slabs : {1u, 4u, 8u, 16u}) {
+    mt::Alg2Options oi, ob;
+    oi.slabs = ob.slabs = slabs;
+    oi.partition = mt::Alg2Partition::kIndexed;
+    ob.partition = mt::Alg2Partition::kBroadcast;
+
+    mt::Alg2Stats si, sb;
+    geom::PolygonSet ri, rb;
+    const double t_idx = bench::time_median3([&] {
+      ri = mt::slab_clip(subject, clip, geom::BoolOp::kUnion, pool, oi, &si);
+    });
+    const double t_bcast = bench::time_median3([&] {
+      rb = mt::slab_clip(subject, clip, geom::BoolOp::kUnion, pool, ob, &sb);
+    });
+
+    long long touched_idx = 0, touched_bcast = 0;
+    for (const auto& sl : si.slabs) touched_idx += sl.touched_edges;
+    for (const auto& sl : sb.slabs) touched_bcast += sl.touched_edges;
+    const double ratio =
+        touched_bcast > 0
+            ? static_cast<double>(touched_idx) / static_cast<double>(touched_bcast)
+            : 1.0;
+    std::printf("%6u | %14lld %14lld %8.3f | %12.3f %12.3f\n", slabs,
+                touched_idx, touched_bcast, ratio, t_idx * 1e3, t_bcast * 1e3);
+
+    report.row("slab_partition");
+    report.cell("slabs", static_cast<long long>(slabs));
+    report.cell("touched_indexed", touched_idx);
+    report.cell("touched_broadcast", touched_bcast);
+    report.cell("touched_ratio", ratio);
+    report.cell("indexed_ms", t_idx * 1e3);
+    report.cell("broadcast_ms", t_bcast * 1e3);
+
+    if (!identical(ri, rb)) {
+      std::fprintf(stderr,
+                   "FAIL: indexed and broadcast outputs differ at %u slabs\n",
+                   slabs);
+      gate_ok = false;
+    }
+    if (slabs >= 4 && touched_idx > touched_bcast) {
+      std::fprintf(stderr,
+                   "FAIL: index read more input than broadcast at %u slabs "
+                   "(%lld > %lld)\n",
+                   slabs, touched_idx, touched_bcast);
+      gate_ok = false;
+    }
+  }
+  report.field("gate_ok", static_cast<long long>(gate_ok ? 1 : 0));
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    if (!report.write_file(path)) return 1;
+    std::printf("\nwrote %s\n", path);
+  }
+  return gate_ok ? 0 : 1;
 }

@@ -1,7 +1,8 @@
 // Fig. 9: execution time of Algorithm 2's phases — partitioning
 // (Steps 4-5), clipping (Step 6) and merging (Step 8) — for two datasets
 // as the thread count grows. The paper observes clipping dominating and
-// partitioning growing slightly with more threads.
+// partitioning growing slightly with more threads. With --json <path>,
+// the same table is mirrored to a machine-readable report.
 
 #include <cstdio>
 
@@ -9,7 +10,7 @@
 #include "data/synthetic.hpp"
 #include "mt/algorithm2.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace psclip;
   bench::header("Fig. 9 — Algorithm 2 phase breakdown (partition/clip/merge)",
                 "paper Fig. 9");
@@ -19,6 +20,9 @@ int main() {
     int edges;
   };
   const Ds sets[] = {{"I (8k-edge pair)", 8000}, {"II (24k-edge pair)", 24000}};
+
+  bench::JsonReport report;
+  report.field("bench", std::string("fig9_phase_breakdown"));
 
   for (const auto& ds : sets) {
     const auto pair = data::synthetic_pair(31, ds.edges);
@@ -39,7 +43,19 @@ int main() {
       std::printf("%8u %14.3f %12.3f %12.3f %12.3f\n", t,
                   st.phases.partition * 1e3, st.phases.clip * 1e3,
                   st.phases.merge * 1e3, st.phases.total() * 1e3);
+      report.row("phases");
+      report.cell("dataset", std::string(ds.name));
+      report.cell("slabs", static_cast<long long>(t));
+      report.cell("partition_ms", st.phases.partition * 1e3);
+      report.cell("clip_ms", st.phases.clip * 1e3);
+      report.cell("merge_ms", st.phases.merge * 1e3);
+      report.cell("total_ms", st.phases.total() * 1e3);
     }
+  }
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    if (!report.write_file(path)) return 1;
+    std::printf("\nwrote %s\n", path);
   }
   return 0;
 }

@@ -5,15 +5,109 @@
 // paper-style layout; micro-benchmarks additionally register
 // google-benchmark counters.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "parallel/timing.hpp"
 
 namespace psclip::bench {
+
+/// Value of a `--json <path>` command-line flag, or nullptr when absent.
+/// Bench binaries that support machine-readable output call this from
+/// main(argc, argv) and mirror their tables into the named file.
+inline const char* json_path(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i)
+    if (std::strcmp(argv[i], "--json") == 0) return argv[i + 1];
+  return nullptr;
+}
+
+/// Append-only JSON object writer for bench results — scalar fields plus
+/// named arrays of flat row objects, enough for "one table = one array"
+/// reports without a JSON dependency. Keys/strings must not need escaping
+/// (bench code controls both).
+class JsonReport {
+ public:
+  void field(const std::string& key, double v) { fields_.emplace_back(key, num(v)); }
+  void field(const std::string& key, long long v) {
+    fields_.emplace_back(key, std::to_string(v));
+  }
+  void field(const std::string& key, const std::string& v) {
+    fields_.emplace_back(key, "\"" + v + "\"");
+  }
+
+  /// Start a new row in array `name`; subsequent cell() calls fill it.
+  void row(const std::string& name) {
+    rows_.push_back({name, {}});
+  }
+  void cell(const std::string& key, double v) { rows_.back().kv.emplace_back(key, num(v)); }
+  void cell(const std::string& key, long long v) {
+    rows_.back().kv.emplace_back(key, std::to_string(v));
+  }
+  void cell(const std::string& key, const std::string& v) {
+    rows_.back().kv.emplace_back(key, "\"" + v + "\"");
+  }
+
+  /// Serialize to `path`. Returns false (and prints to stderr) on failure.
+  bool write_file(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    bool first = true;
+    for (const auto& [k, v] : fields_) {
+      std::fprintf(f, "%s  \"%s\": %s", first ? "" : ",\n", k.c_str(), v.c_str());
+      first = false;
+    }
+    // Group rows by array name, preserving first-appearance order.
+    std::vector<std::string> names;
+    for (const auto& r : rows_)
+      if (std::find(names.begin(), names.end(), r.array) == names.end())
+        names.push_back(r.array);
+    for (const auto& name : names) {
+      std::fprintf(f, "%s  \"%s\": [", first ? "" : ",\n", name.c_str());
+      first = false;
+      bool first_row = true;
+      for (const auto& r : rows_) {
+        if (r.array != name) continue;
+        std::fprintf(f, "%s\n    {", first_row ? "" : ",");
+        first_row = false;
+        bool first_cell = true;
+        for (const auto& [k, v] : r.kv) {
+          std::fprintf(f, "%s\"%s\": %s", first_cell ? "" : ", ", k.c_str(),
+                       v.c_str());
+          first_cell = false;
+        }
+        std::fprintf(f, "}");
+      }
+      std::fprintf(f, "\n  ]");
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string num(double v) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+  }
+
+  struct Row {
+    std::string array;
+    std::vector<std::pair<std::string, std::string>> kv;
+  };
+  std::vector<std::pair<std::string, std::string>> fields_;
+  std::vector<Row> rows_;
+};
 
 /// Dataset scale factor for the Table III simulations. The paper's full
 /// sizes (millions of edges) are reproduced with PSCLIP_BENCH_SCALE=1;

@@ -43,6 +43,13 @@ BBox bounds(const PolygonSet& p) {
   return b;
 }
 
+std::vector<BBox> contour_bounds(const PolygonSet& p) {
+  std::vector<BBox> out;
+  out.reserve(p.num_contours());
+  for (const auto& c : p.contours) out.push_back(bounds(c));
+  return out;
+}
+
 void reverse(Contour& c) {
   std::reverse(c.pts.begin(), c.pts.end());
 }

@@ -58,6 +58,11 @@ double area(const PolygonSet& p);
 BBox bounds(const Contour& c);
 BBox bounds(const PolygonSet& p);
 
+/// Per-contour bounding boxes, computed in one pass: out[i] == bounds of
+/// contour i. Slab partitioning caches this so each contour's vertices are
+/// touched once, instead of once per slab that tests the contour.
+std::vector<BBox> contour_bounds(const PolygonSet& p);
+
 /// Reverse vertex order of a contour in place (flips orientation).
 void reverse(Contour& c);
 

@@ -1,7 +1,10 @@
 #include "mt/algorithm2.hpp"
 
 #include <algorithm>
+#include <span>
 
+#include "mt/arena.hpp"
+#include "mt/slab_index.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
 #include "seq/vatti.hpp"
@@ -61,6 +64,28 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   const std::vector<double> bounds = slab_bounds(ys, mbr, p);
   const std::size_t nslabs = bounds.size() - 1;
 
+  // Slab-overlap contour index (Alg2Partition::kIndexed): cache each
+  // contour's bbox in one parallel pass, then build per-slab exact overlap
+  // lists so slab t only ever reads its own contours. Under kBroadcast the
+  // index is skipped and every slab scans both whole inputs (the paper's
+  // O(p·n) formulation).
+  const bool indexed = opts.partition == Alg2Partition::kIndexed;
+  std::vector<geom::BBox> sub_boxes, clip_boxes;
+  SlabContourIndex sub_idx, clip_idx;
+  if (indexed) {
+    sub_boxes.resize(subject.num_contours());
+    clip_boxes.resize(clip.num_contours());
+    pool.parallel_for(
+        subject.num_contours(),
+        [&](std::size_t i) { sub_boxes[i] = geom::bounds(subject.contours[i]); },
+        /*grain=*/64);
+    pool.parallel_for(
+        clip.num_contours(),
+        [&](std::size_t i) { clip_boxes[i] = geom::bounds(clip.contours[i]); },
+        /*grain=*/64);
+    sub_idx = build_slab_index(pool, sub_boxes, bounds);
+    clip_idx = build_slab_index(pool, clip_boxes, bounds);
+  }
   // Steps 4-6 per slab, in parallel: rectangle-clip both inputs to the
   // slab, then run the sequential clipper on the slab pair.
   struct SlabOut {
@@ -85,18 +110,44 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     group.run([&, t] {
       SlabOut& so = outs[t];
       so.worker = pool.current_worker();
+      SlabArena& arena = worker_arena();
+      ++arena.tasks_served;
       par::WallTimer timer;
       const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
                             bounds[t + 1]};
-      geom::PolygonSet a_t = seq::rect_clip(subject, rect, opts.rect_method);
-      geom::PolygonSet b_t = seq::rect_clip(clip, rect, opts.rect_method);
+      // Materialize this slab's inputs. Indexed: walk the overlap list
+      // (ascending contour order == the broadcast scan order) and hand
+      // rect_clip_subset the precomputed inside flags; the slab only reads
+      // the contours it overlaps. Broadcast: scan and classify everything.
+      auto slab_input = [&](const geom::PolygonSet& input,
+                            const SlabContourIndex& idx) {
+        if (!indexed) {
+          so.load.touched_edges +=
+              static_cast<std::int64_t>(input.num_vertices());
+          return seq::rect_clip(input, rect, opts.rect_method);
+        }
+        const std::span<const SlabEntry> list = idx.slab(t);
+        arena.refs.clear();
+        arena.inside.clear();
+        arena.refs.reserve(list.size());
+        arena.inside.reserve(list.size());
+        for (const SlabEntry& e : list) {
+          const geom::Contour& c = input.contours[e.contour];
+          arena.refs.push_back(&c);
+          arena.inside.push_back(e.inside ? 1 : 0);
+          so.load.touched_edges += static_cast<std::int64_t>(c.size());
+        }
+        return seq::rect_clip_subset(arena.refs, arena.inside, rect,
+                                     opts.rect_method, &arena.rect);
+      };
+      geom::PolygonSet a_t = slab_input(subject, sub_idx);
+      geom::PolygonSet b_t = slab_input(clip, clip_idx);
       so.partition_seconds = timer.seconds();
       timer.reset();
       seq::VattiStats vs;
-      so.result = seq::vatti_clip(a_t, b_t, op, &vs);
+      so.result = seq::vatti_clip(a_t, b_t, op, &vs, &arena.vatti);
       so.load.seconds = timer.seconds();
-      so.load.input_edges =
-          static_cast<std::int64_t>(a_t.num_vertices() + b_t.num_vertices());
+      so.load.input_edges = vs.edges;
       so.load.output_vertices = vs.output_vertices;
     });
   }

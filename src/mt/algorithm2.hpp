@@ -8,6 +8,21 @@
 
 namespace psclip::mt {
 
+/// How Algorithm 2's Steps 4–5 select the input handed to each slab task.
+enum class Alg2Partition {
+  /// Slab-overlap contour index (the default): one parallel pass caches the
+  /// per-contour y-intervals, a sort + prefix-sum pass builds, for every
+  /// slab, the exact list of contours overlapping it, and each slab task
+  /// rect-clips only that list (fully-contained contours are moved, not
+  /// clipped). Partition work drops from O(p·n) to O(n log n + Σ_t n_t) —
+  /// output-sensitive in the slab overlap sizes n_t.
+  kIndexed,
+  /// The paper's formulation: every slab task scans both whole input sets
+  /// and rectangle-clips them against its slab. O(p·n) partition work.
+  /// Retained as the ablation baseline; produces byte-identical output.
+  kBroadcast,
+};
+
 /// Options for the multi-threaded slab clipper (Algorithm 2).
 struct Alg2Options {
   /// Number of horizontal slabs (the paper uses one per thread). 0 = derive
@@ -26,6 +41,9 @@ struct Alg2Options {
   /// Clipper used for the rectangle-clipping Steps 4–5; the paper picks
   /// Greiner–Hormann after benchmarking it against GPC.
   seq::RectClipMethod rect_method = seq::RectClipMethod::kGreinerHormann;
+  /// Partition-input selection strategy (see Alg2Partition). Both settings
+  /// produce byte-identical results; kBroadcast exists for ablation.
+  Alg2Partition partition = Alg2Partition::kIndexed;
 };
 
 /// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts

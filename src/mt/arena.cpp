@@ -1,0 +1,19 @@
+#include "mt/arena.hpp"
+
+#include "parallel/worker_local.hpp"
+
+namespace psclip::mt {
+namespace {
+
+par::WorkerLocal<SlabArena>& registry() {
+  static par::WorkerLocal<SlabArena> r;
+  return r;
+}
+
+}  // namespace
+
+SlabArena& worker_arena() { return registry().local(); }
+
+std::size_t worker_arena_count() { return registry().slots(); }
+
+}  // namespace psclip::mt

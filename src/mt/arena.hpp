@@ -1,0 +1,39 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "seq/rect_clip.hpp"
+#include "seq/vatti.hpp"
+
+namespace psclip::mt {
+
+/// Reusable scratch owned by one executing thread, handed out by
+/// worker_arena(). A slab task borrows the arena for its whole run —
+/// rect-clip partition buffers, the Vatti sweep scratch (bound table,
+/// scanbeam list, AET, output pool, per-beam intersection buffers) and the
+/// contour-ref staging vectors used to materialize a slab's entry list from
+/// the SlabContourIndex. Because slab tasks on one thread run strictly one
+/// after another, nothing here needs synchronization; buffers are cleared
+/// (capacity retained) at each use site rather than reallocated, so a
+/// worker that clips many slabs touches the allocator only while its
+/// high-water marks are still growing.
+struct SlabArena {
+  seq::VattiScratch vatti;      ///< sweep-structure pools for vatti_clip
+  seq::RectClipScratch rect;    ///< straddling-contour buffer for rect clips
+  std::vector<const geom::Contour*> refs;  ///< slab's contours, index order
+  std::vector<std::uint8_t> inside;        ///< 1 = fully inside, move as-is
+  std::uint64_t tasks_served = 0;          ///< slab tasks run on this arena
+};
+
+/// The calling thread's slab arena (created on first use, then reused for
+/// every subsequent slab task this thread executes, across all clips and
+/// pools for the life of the process).
+SlabArena& worker_arena();
+
+/// Number of distinct arenas created so far == distinct threads that have
+/// executed slab tasks. Exposed for tests.
+std::size_t worker_arena_count();
+
+}  // namespace psclip::mt

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "mt/arena.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
 #include "seq/vatti.hpp"
@@ -271,14 +272,17 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   pool.parallel_for(
       nwork,
       [&](std::size_t t) {
+        SlabArena& arena = worker_arena();
+        ++arena.tasks_served;
         par::WallTimer timer;
         seq::VattiStats vs;
-        outs[t].result =
-            seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs);
+        outs[t].result = seq::vatti_clip(slab_subject[t], slab_clip_in[t], op,
+                                         &vs, &arena.vatti);
         outs[t].load.seconds = timer.seconds();
-        outs[t].load.input_edges = static_cast<std::int64_t>(
-            slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
+        outs[t].load.input_edges = vs.edges;
         outs[t].load.output_vertices = vs.output_vertices;
+        outs[t].load.touched_edges = static_cast<std::int64_t>(
+            slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
       },
       /*grain=*/1);
   const double t_clip = phase_timer.seconds();

@@ -19,9 +19,18 @@ struct PhaseTimes {
 /// Per-slab work record, the raw material for the paper's load-imbalance
 /// discussion (Fig. 11).
 struct SlabLoad {
-  double seconds = 0.0;           ///< clip time of this slab
-  std::int64_t input_edges = 0;   ///< edges fed to the sequential clipper
+  double seconds = 0.0;  ///< clip time of this slab
+  /// Bound edges the sequential clipper actually swept for this slab — the
+  /// post-partition, post-cleaning edge count (VattiStats::edges), i.e. the
+  /// work the slab's Step 6 really did, not the raw vertex count handed in.
+  std::int64_t input_edges = 0;
   std::int64_t output_vertices = 0;
+  /// Input vertices the *partition* step read for this slab. Broadcast
+  /// partitioning scans every contour of both inputs per slab, so this is
+  /// p × total vertices summed over slabs; the indexed partition only reads
+  /// contours whose y-interval overlaps the slab. Deterministic (no timing
+  /// noise), which makes it the CI-gateable ablation metric.
+  std::int64_t touched_edges = 0;
 };
 
 /// Per-worker scheduling record for one Algorithm 2 run under the

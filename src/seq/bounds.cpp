@@ -93,17 +93,30 @@ void append_bounds(BoundTable& bt, const geom::PolygonSet& p, bool is_clip) {
 BoundTable build_bounds(const geom::PolygonSet& subject,
                         const geom::PolygonSet& clip) {
   BoundTable bt;
+  build_bounds_into(bt, subject, clip);
+  return bt;
+}
+
+void build_bounds_into(BoundTable& bt, const geom::PolygonSet& subject,
+                       const geom::PolygonSet& clip) {
+  bt.edges.clear();
+  bt.minima.clear();
   append_bounds(bt, subject, /*is_clip=*/false);
   append_bounds(bt, clip, /*is_clip=*/true);
   std::sort(bt.minima.begin(), bt.minima.end(),
             [](const LocalMin& a, const LocalMin& b) {
               return a.pt.y < b.pt.y || (a.pt.y == b.pt.y && a.pt.x < b.pt.x);
             });
-  return bt;
 }
 
 std::vector<double> scanbeam_ys(const BoundTable& bt) {
   std::vector<double> ys;
+  scanbeam_ys_into(bt, ys);
+  return ys;
+}
+
+void scanbeam_ys_into(const BoundTable& bt, std::vector<double>& ys) {
+  ys.clear();
   ys.reserve(bt.edges.size() * 2);
   for (const auto& e : bt.edges) {
     ys.push_back(e.bot.y);
@@ -111,7 +124,6 @@ std::vector<double> scanbeam_ys(const BoundTable& bt) {
   }
   std::sort(ys.begin(), ys.end());
   ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
-  return ys;
 }
 
 }  // namespace psclip::seq

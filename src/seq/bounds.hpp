@@ -45,8 +45,17 @@ void append_bounds(BoundTable& bt, const geom::PolygonSet& p, bool is_clip);
 BoundTable build_bounds(const geom::PolygonSet& subject,
                         const geom::PolygonSet& clip);
 
+/// As build_bounds, but reusing `bt`'s storage: the table is cleared with
+/// capacity retained, so repeated clips (per-worker slab arenas) do not
+/// reallocate the edge and minima arrays every time.
+void build_bounds_into(BoundTable& bt, const geom::PolygonSet& subject,
+                       const geom::PolygonSet& clip);
+
 /// Collect the sorted distinct y-coordinates of all edge endpoints — the
 /// scanbeam schedule (paper §III-B: "scanbeam table").
 std::vector<double> scanbeam_ys(const BoundTable& bt);
+
+/// As scanbeam_ys, but into a reused buffer (cleared, capacity retained).
+void scanbeam_ys_into(const BoundTable& bt, std::vector<double>& ys);
 
 }  // namespace psclip::seq

@@ -68,6 +68,10 @@ class OutPolyPool {
   /// Number of poly records created (including absorbed ones).
   [[nodiscard]] std::size_t size() const { return polys_.size(); }
 
+  /// Drop all poly records, retaining the record array's capacity — lets a
+  /// pooled sweep scratch reuse the same OutPolyPool across runs.
+  void reset() { polys_.clear(); }
+
   /// Extract final contours: closed contours with >= 3 vertices,
   /// orientation normalized (exterior counter-clockwise, holes clockwise).
   /// Contours with |signed area| <= min_area are dropped.

@@ -1,39 +1,23 @@
 #include "seq/rect_clip.hpp"
 
+#include <cassert>
+
 #include "seq/greiner_hormann.hpp"
 #include "seq/sutherland_hodgman.hpp"
 #include "seq/vatti.hpp"
 
 namespace psclip::seq {
+namespace {
 
-const char* to_string(RectClipMethod m) {
-  switch (m) {
-    case RectClipMethod::kGreinerHormann: return "GH";
-    case RectClipMethod::kVatti: return "Vatti";
-    case RectClipMethod::kSutherlandHodgman: return "SH";
-  }
-  return "?";
-}
-
-geom::PolygonSet rect_clip(const geom::PolygonSet& subject,
-                           const geom::BBox& rect, RectClipMethod method) {
+/// Run the selected clipper on the boundary-straddling contours against the
+/// rectangle ring and append the pieces to `out`. Shared by the broadcast
+/// path (rect_clip) and the indexed path (rect_clip_subset) so the two
+/// produce bit-identical output for the same straddling set.
+void clip_straddling(const geom::PolygonSet& straddling,
+                     const geom::BBox& rect, RectClipMethod method,
+                     geom::PolygonSet& out) {
   const geom::Contour rring =
       geom::make_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax);
-
-  geom::PolygonSet out;
-  geom::PolygonSet straddling;
-  for (const auto& c : subject.contours) {
-    const geom::BBox cb = geom::bounds(c);
-    if (!cb.overlaps(rect)) continue;  // fully outside
-    if (cb.xmin >= rect.xmin && cb.xmax <= rect.xmax && cb.ymin >= rect.ymin &&
-        cb.ymax <= rect.ymax) {
-      out.contours.push_back(c);  // fully inside
-      continue;
-    }
-    straddling.contours.push_back(c);
-  }
-  if (straddling.empty()) return out;
-
   geom::PolygonSet clipped;
   switch (method) {
     case RectClipMethod::kGreinerHormann:
@@ -51,6 +35,55 @@ geom::PolygonSet rect_clip(const geom::PolygonSet& subject,
       break;
   }
   for (auto& c : clipped.contours) out.contours.push_back(std::move(c));
+}
+
+}  // namespace
+
+const char* to_string(RectClipMethod m) {
+  switch (m) {
+    case RectClipMethod::kGreinerHormann: return "GH";
+    case RectClipMethod::kVatti: return "Vatti";
+    case RectClipMethod::kSutherlandHodgman: return "SH";
+  }
+  return "?";
+}
+
+geom::PolygonSet rect_clip(const geom::PolygonSet& subject,
+                           const geom::BBox& rect, RectClipMethod method) {
+  geom::PolygonSet out;
+  geom::PolygonSet straddling;
+  for (const auto& c : subject.contours) {
+    const geom::BBox cb = geom::bounds(c);
+    if (!cb.overlaps(rect)) continue;  // fully outside
+    if (cb.xmin >= rect.xmin && cb.xmax <= rect.xmax && cb.ymin >= rect.ymin &&
+        cb.ymax <= rect.ymax) {
+      out.contours.push_back(c);  // fully inside
+      continue;
+    }
+    straddling.contours.push_back(c);
+  }
+  if (straddling.empty()) return out;
+  clip_straddling(straddling, rect, method, out);
+  return out;
+}
+
+geom::PolygonSet rect_clip_subset(
+    std::span<const geom::Contour* const> contours,
+    std::span<const std::uint8_t> inside, const geom::BBox& rect,
+    RectClipMethod method, RectClipScratch* scratch) {
+  assert(contours.size() == inside.size());
+  geom::PolygonSet out;
+  RectClipScratch local;
+  RectClipScratch& sc = scratch ? *scratch : local;
+  sc.straddling.contours.clear();
+  for (std::size_t i = 0; i < contours.size(); ++i) {
+    if (inside[i])
+      out.contours.push_back(*contours[i]);  // move-not-clip fast path
+    else
+      sc.straddling.contours.push_back(*contours[i]);
+  }
+  if (sc.straddling.empty()) return out;
+  clip_straddling(sc.straddling, rect, method, out);
   return out;
 }
 

@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <span>
+
 #include "geom/bbox.hpp"
 #include "geom/polygon.hpp"
 
@@ -25,5 +28,27 @@ const char* to_string(RectClipMethod m);
 geom::PolygonSet rect_clip(const geom::PolygonSet& subject,
                            const geom::BBox& rect,
                            RectClipMethod method = RectClipMethod::kGreinerHormann);
+
+/// Reusable scratch for rect_clip_subset: the straddling-contour staging
+/// buffer survives between calls (a slab-arena worker resets it instead of
+/// reallocating it for every slab task).
+struct RectClipScratch {
+  geom::PolygonSet straddling;
+};
+
+/// Clip a pre-selected subset of contours (a slab's overlap list, in input
+/// order) to the rectangle. `inside[i]` marks contours[i] as lying fully
+/// inside `rect` — precomputed from cached bounding boxes by the slab
+/// index — and such contours are moved through untouched; the rest run
+/// through the selected clipper together.
+///
+/// Produces output identical to rect_clip() on a PolygonSet holding exactly
+/// these contours in this order, but without re-deriving any bounding box:
+/// the caller's index already decided overlap and containment.
+geom::PolygonSet rect_clip_subset(
+    std::span<const geom::Contour* const> contours,
+    std::span<const std::uint8_t> inside, const geom::BBox& rect,
+    RectClipMethod method = RectClipMethod::kGreinerHormann,
+    RectClipScratch* scratch = nullptr);
 
 }  // namespace psclip::seq

@@ -46,12 +46,50 @@ struct Active : SweepEntry {
   double xt = 0.0;  // x on the current beam's top scanline
 };
 
+/// One beam-internal crossing: eu is left of ev below the crossing point.
+struct CrossEv {
+  std::int32_t eu, ev;  // bound-edge ids
+  Point p;
+};
+
+}  // namespace
+
+/// All buffers the sweep works in. Owned by VattiScratch so that a
+/// per-worker arena clears them (capacity retained) instead of paying a
+/// fresh round of allocations per call — and, for the per-beam event
+/// buffers, per scanbeam.
+struct VattiScratch::Impl {
+  BoundTable bt;
+  std::vector<double> ys;         ///< scanbeam schedule
+  std::vector<Active> aet;
+  OutPolyPool pool;
+  // process_intersections working set (cleared every beam):
+  std::vector<CrossEv> events;
+  std::vector<std::pair<double, std::int32_t>> keys;  ///< (xt, edge id)
+  std::unordered_map<std::int32_t, std::size_t> pos;
+  std::vector<CrossEv> pending, deferred;
+
+  void begin_run() {
+    aet.clear();
+    pool.reset();
+  }
+};
+
+VattiScratch::VattiScratch() : impl(std::make_unique<Impl>()) {}
+VattiScratch::~VattiScratch() = default;
+VattiScratch::VattiScratch(VattiScratch&&) noexcept = default;
+VattiScratch& VattiScratch::operator=(VattiScratch&&) noexcept = default;
+
+namespace {
+
 class Sweep {
  public:
-  Sweep(const BoundTable& bt, BoolOp op) : bt_(bt), op_(op) {}
+  Sweep(VattiScratch::Impl& sc, BoolOp op)
+      : bt_(sc.bt), op_(op), sc_(sc), aet_(sc.aet), pool_(sc.pool) {}
 
   PolygonSet run(VattiStats* stats) {
-    const std::vector<double> ys = scanbeam_ys(bt_);
+    scanbeam_ys_into(bt_, sc_.ys);
+    const std::vector<double>& ys = sc_.ys;
     std::size_t next_min = 0;
     for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
       const double yb = ys[i];
@@ -82,8 +120,9 @@ class Sweep {
  private:
   const BoundTable& bt_;
   BoolOp op_;
-  std::vector<Active> aet_;
-  OutPolyPool pool_;
+  VattiScratch::Impl& sc_;
+  std::vector<Active>& aet_;
+  OutPolyPool& pool_;
   std::int64_t intersections_ = 0;
   bool validate_ = std::getenv("PSCLIP_VALIDATE") != nullptr;
 
@@ -193,25 +232,24 @@ class Sweep {
 
     // Phase 1 — enumerate the beam's crossings as the inversions between
     // the bottom and top x-orders (Lemma 4), on a scratch copy so that no
-    // sweep state changes yet.
-    struct Ev {
-      std::int32_t eu, ev;  // bound-edge ids; eu is left of ev below p
-      Point p;
-    };
-    std::vector<Ev> events;
+    // sweep state changes yet. The event and key buffers live in the
+    // VattiScratch (cleared here, capacity retained): this loop runs once
+    // per scanbeam, and per-beam reallocation is exactly the churn the
+    // per-worker slab arenas exist to remove.
+    std::vector<CrossEv>& events = sc_.events;
+    events.clear();
     {
-      struct Key {
-        double xt;
-        std::int32_t e;
-      };
-      std::vector<Key> ks;
+      auto& ks = sc_.keys;  // (xt, edge id)
+      ks.clear();
       ks.reserve(aet_.size());
-      for (const auto& a : aet_) ks.push_back({a.xt, a.e});
+      for (const auto& a : aet_) ks.emplace_back(a.xt, a.e);
       for (std::size_t i = 1; i < ks.size(); ++i) {
         std::size_t j = i;
-        while (j > 0 && ks[j].xt < ks[j - 1].xt) {
-          const BoundEdge& eu = bt_.edges[static_cast<std::size_t>(ks[j - 1].e)];
-          const BoundEdge& ev = bt_.edges[static_cast<std::size_t>(ks[j].e)];
+        while (j > 0 && ks[j].first < ks[j - 1].first) {
+          const BoundEdge& eu =
+              bt_.edges[static_cast<std::size_t>(ks[j - 1].second)];
+          const BoundEdge& ev =
+              bt_.edges[static_cast<std::size_t>(ks[j].second)];
           Point p =
               geom::line_intersection(eu.bot, eu.top, ev.bot, ev.top);
           // A genuine crossing lies inside the beam up to rounding; allow
@@ -230,7 +268,7 @@ class Sweep {
             const double xv = geom::x_at_y(ev.bot, ev.top, ym);
             p = {0.5 * (xu + xv), ym};
           }
-          events.push_back({ks[j - 1].e, ks[j].e, p});
+          events.push_back({ks[j - 1].second, ks[j].second, p});
           std::swap(ks[j - 1], ks[j]);
           --j;
         }
@@ -243,19 +281,22 @@ class Sweep {
     // crossings have already swapped), which is what makes the sector
     // emission sound. Processing in enumeration order instead connects
     // boundaries wrongly when three edges cross pairwise in one beam.
-    std::stable_sort(events.begin(), events.end(),
-                     [](const Ev& a, const Ev& b) { return a.p.y < b.p.y; });
+    std::stable_sort(
+        events.begin(), events.end(),
+        [](const CrossEv& a, const CrossEv& b) { return a.p.y < b.p.y; });
 
-    std::unordered_map<std::int32_t, std::size_t> pos;
+    auto& pos = sc_.pos;
+    pos.clear();
     pos.reserve(aet_.size() * 2);
     for (std::size_t i = 0; i < aet_.size(); ++i) pos[aet_[i].e] = i;
 
-    std::vector<Ev> pending(std::move(events));
-    std::vector<Ev> deferred;
+    std::vector<CrossEv>& pending = sc_.pending;
+    pending.swap(events);  // hand over the enumerated crossings, no copy
+    std::vector<CrossEv>& deferred = sc_.deferred;
     while (!pending.empty()) {
       bool progress = false;
       deferred.clear();
-      for (const Ev& ev : pending) {
+      for (const CrossEv& ev : pending) {
         std::size_t iu = pos[ev.eu];
         std::size_t iv = pos[ev.ev];
         if (iu > iv) std::swap(iu, iv);  // roles flip with current order
@@ -277,7 +318,7 @@ class Sweep {
         // rebuild every parity flag from the array order — best-effort
         // emission at a degenerate point, but contours stay attached and
         // close (dropping emissions here loses whole output rings).
-        for (const Ev& ev : pending) {
+        for (const CrossEv& ev : pending) {
           std::size_t iu = pos[ev.eu];
           std::size_t iv = pos[ev.ev];
           if (iu > iv) std::swap(iu, iv);
@@ -360,13 +401,17 @@ class Sweep {
 }  // namespace
 
 PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
-                      BoolOp op, VattiStats* stats) {
+                      BoolOp op, VattiStats* stats, VattiScratch* scratch) {
   PolygonSet s = geom::cleaned(subject);
   PolygonSet c = geom::cleaned(clip);
   geom::remove_horizontals(s);
   geom::remove_horizontals(c);
-  const BoundTable bt = build_bounds(s, c);
-  Sweep sweep(bt, op);
+  VattiScratch local;
+  VattiScratch& sc = scratch ? *scratch : local;
+  build_bounds_into(sc.impl->bt, s, c);
+  sc.impl->begin_run();
+  ++sc.runs;
+  Sweep sweep(*sc.impl, op);
   return sweep.run(stats);
 }
 

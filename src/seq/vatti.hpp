@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "geom/bool_op.hpp"
 #include "geom/polygon.hpp"
@@ -18,6 +19,28 @@ struct VattiStats {
   std::int64_t max_aet = 0;         ///< peak active edge table size
 };
 
+/// Reusable scratch for vatti_clip: the active edge table, the per-scanbeam
+/// intersection-event buffers, the bound table and the scanbeam schedule
+/// all live here and are cleared — capacity retained — instead of being
+/// reallocated on every call (and, for the per-beam buffers, on every
+/// scanbeam). A slab-arena worker keeps one VattiScratch alive across all
+/// the slab tasks it executes; without it the per-slab allocation churn
+/// dominates many-slab/oversubscribed Algorithm 2 runs.
+///
+/// Owned by exactly one thread at a time; reuse never changes results
+/// (cleared buffers are indistinguishable from fresh ones).
+struct VattiScratch {
+  VattiScratch();
+  ~VattiScratch();
+  VattiScratch(VattiScratch&&) noexcept;
+  VattiScratch& operator=(VattiScratch&&) noexcept;
+
+  std::uint64_t runs = 0;  ///< vatti_clip calls that reused this scratch
+
+  struct Impl;  // buffer bundle, private to vatti.cpp
+  std::unique_ptr<Impl> impl;
+};
+
 /// General polygon clipping with Vatti's scanline algorithm — the library's
 /// sequential substrate, equivalent in role to the GPC library the paper
 /// plugs into Algorithm 2 Step 6.
@@ -26,8 +49,13 @@ struct VattiStats {
 /// (even-odd), and self-intersecting contours. Horizontal edges are removed
 /// internally by the paper's perturbation preprocessing (§III-C). Output
 /// contours are oriented exterior-CCW / hole-CW and never self-intersect.
+///
+/// `scratch`, when given, supplies the sweep's working buffers and is
+/// reset internally — pass a per-worker instance to amortize allocations
+/// across calls; results are identical either way.
 geom::PolygonSet vatti_clip(const geom::PolygonSet& subject,
                             const geom::PolygonSet& clip, geom::BoolOp op,
-                            VattiStats* stats = nullptr);
+                            VattiStats* stats = nullptr,
+                            VattiScratch* scratch = nullptr);
 
 }  // namespace psclip::seq

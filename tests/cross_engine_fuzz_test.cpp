@@ -229,6 +229,26 @@ TEST_P(CrossEngineFuzz, EnginesAgree) {
       << "slab_clip=" << a2 << " oracle=" << want;
   EXPECT_EQ(canonical_vertices(out4), canonical_vertices(out2))
       << "slab_clip output depends on scheduling";
+
+  // The slab-overlap contour index (kIndexed, the default above) must be a
+  // pure work optimization: against the O(p·n) broadcast partition it has
+  // to produce the same contours in the same order with the same bits —
+  // not just the same area.
+  mt::Alg2Options ob = o;
+  ob.partition = mt::Alg2Partition::kBroadcast;
+  const PolygonSet outb = mt::slab_clip(in.a, in.b, c.op, pool4, ob);
+  ASSERT_EQ(out4.num_contours(), outb.num_contours())
+      << "indexed vs broadcast contour count";
+  for (std::size_t i = 0; i < out4.contours.size(); ++i) {
+    const auto& ci = out4.contours[i];
+    const auto& cb = outb.contours[i];
+    ASSERT_EQ(ci.pts.size(), cb.pts.size()) << "contour " << i;
+    EXPECT_EQ(ci.hole, cb.hole) << "contour " << i;
+    for (std::size_t j = 0; j < ci.pts.size(); ++j) {
+      EXPECT_EQ(ci.pts[j].x, cb.pts[j].x) << "contour " << i << " vertex " << j;
+      EXPECT_EQ(ci.pts[j].y, cb.pts[j].y) << "contour " << i << " vertex " << j;
+    }
+  }
 }
 
 std::vector<FuzzCase> make_cases() {
