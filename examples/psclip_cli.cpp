@@ -1,12 +1,20 @@
 // psclip_cli — clip two polygon files from the command line.
 //
 //   psclip_cli <op> <subject-file> <clip-file> [--engine=E] [--out=FMT]
+//              [--sanitize]
 //
-//   op      : intersection | union | difference | xor
-//   files   : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
-//             the first non-space character ('{' = GeoJSON)
-//   --engine: auto | vatti | martinez | scanbeam | slab   (default auto)
-//   --out   : wkt | geojson | area                        (default wkt)
+//   op        : intersection | union | difference | xor
+//   files     : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
+//               the first non-space character ('{' = GeoJSON)
+//   --engine  : auto | vatti | martinez | scanbeam | slab   (default auto)
+//   --out     : wkt | geojson | area                        (default wkt)
+//   --sanitize: repair inputs before clipping (strip non-finite vertices,
+//               collapse consecutive duplicates, drop degenerate contours);
+//               each repair is reported on stderr. Without it, defective
+//               but parseable inputs are clipped as-is.
+//
+// Malformed input files are rejected with the byte offset of the first
+// problem (the parsers never hand the clippers NaN/Inf coordinates).
 //
 // Example:
 //   echo 'POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))' > a.wkt
@@ -24,7 +32,8 @@
 
 namespace {
 
-std::optional<psclip::geom::PolygonSet> load(const std::string& path) {
+std::optional<psclip::geom::PolygonSet> load(const std::string& path,
+                                             bool sanitize) {
   std::ifstream f(path);
   if (!f) {
     std::fprintf(stderr, "psclip: cannot open %s\n", path.c_str());
@@ -34,12 +43,26 @@ std::optional<psclip::geom::PolygonSet> load(const std::string& path) {
   ss << f.rdbuf();
   const std::string text = ss.str();
   const auto first = text.find_first_not_of(" \t\r\n");
-  if (first == std::string::npos) return std::nullopt;
-  const auto parsed = text[first] == '{'
-                          ? psclip::geom::from_geojson(text)
-                          : psclip::geom::from_wkt(text);
-  if (!parsed)
-    std::fprintf(stderr, "psclip: cannot parse %s\n", path.c_str());
+  if (first == std::string::npos) {
+    std::fprintf(stderr, "psclip: %s: empty file\n", path.c_str());
+    return std::nullopt;
+  }
+  psclip::Error err(psclip::ErrorCode::kParse, "");
+  auto parsed = text[first] == '{'
+                    ? psclip::geom::from_geojson(text, &err)
+                    : psclip::geom::from_wkt(text, &err);
+  if (!parsed) {
+    std::fprintf(stderr, "psclip: %s: %s\n", path.c_str(), err.what());
+    return parsed;
+  }
+  if (sanitize) {
+    std::vector<psclip::geom::ValidationIssue> repairs;
+    *parsed = psclip::geom::sanitize(*parsed, &repairs);
+    for (const auto& r : repairs)
+      std::fprintf(stderr, "psclip: %s: sanitized %s (contour %zu, vertex %zu)\n",
+                   path.c_str(), psclip::geom::to_string(r.kind), r.contour,
+                   r.vertex);
+  }
   return parsed;
 }
 
@@ -66,7 +89,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: psclip_cli <intersection|union|difference|xor> "
                "<subject-file> <clip-file> [--engine=auto|vatti|martinez|"
-               "scanbeam|slab] [--out=wkt|geojson|area]\n");
+               "scanbeam|slab] [--out=wkt|geojson|area] [--sanitize]\n");
   return 2;
 }
 
@@ -77,12 +100,10 @@ int main(int argc, char** argv) {
 
   const auto op = parse_op(argv[1]);
   if (!op) return usage();
-  const auto subject = load(argv[2]);
-  const auto clip_poly = load(argv[3]);
-  if (!subject || !clip_poly) return 1;
 
   psclip::Engine engine = psclip::Engine::kAuto;
   std::string out_fmt = "wkt";
+  bool sanitize = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
@@ -91,10 +112,16 @@ int main(int argc, char** argv) {
       engine = *e;
     } else if (arg.rfind("--out=", 0) == 0) {
       out_fmt = arg.substr(6);
+    } else if (arg == "--sanitize") {
+      sanitize = true;
     } else {
       return usage();
     }
   }
+
+  const auto subject = load(argv[2], sanitize);
+  const auto clip_poly = load(argv[3], sanitize);
+  if (!subject || !clip_poly) return 1;
 
   const psclip::geom::PolygonSet result =
       psclip::clip(*subject, *clip_poly, *op, engine);

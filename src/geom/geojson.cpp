@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
 #include "geom/nesting.hpp"
 
@@ -20,9 +22,26 @@ void write_ring(std::ostringstream& os, const Contour& c) {
 }
 
 /// Minimal recursive-descent parser for the geometry subset we emit.
+/// Records the first failure with its byte offset so hostile input is
+/// rejected with a position, not just "nullopt".
 struct Cursor {
   std::string_view s;
   std::size_t pos = 0;
+  bool failed = false;
+  ErrorCode code = ErrorCode::kParse;
+  std::string msg;
+  std::size_t err_pos = 0;
+
+  bool fail(ErrorCode c, std::string m, std::size_t at) {
+    if (!failed) {
+      failed = true;
+      code = c;
+      msg = std::move(m);
+      err_pos = at;
+    }
+    return false;
+  }
+  bool fail(ErrorCode c, std::string m) { return fail(c, std::move(m), pos); }
 
   void ws() {
     while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
@@ -34,18 +53,35 @@ struct Cursor {
       ++pos;
       return true;
     }
-    return false;
+    return fail(ErrorCode::kParse, std::string("expected '") + c + "'");
   }
   bool peek(char c) {
     ws();
     return pos < s.size() && s[pos] == c;
   }
+  /// `eat` without recording a failure — for optional separators.
+  bool accept(char c) {
+    ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
   bool number(double& out) {
     ws();
+    const std::size_t start = pos;
     const char* begin = s.data() + pos;
     auto [ptr, ec] = std::from_chars(begin, s.data() + s.size(), out);
-    if (ec != std::errc{}) return false;
+    if (ec == std::errc::result_out_of_range)
+      return fail(ErrorCode::kNonFinite, "coordinate overflows double", start);
+    if (ec != std::errc{})
+      return fail(ErrorCode::kParse, "expected number", start);
     pos += static_cast<std::size_t>(ptr - begin);
+    // from_chars accepts "inf"/"nan" spellings; a clipper input must not
+    // (JSON forbids them anyway, but the parser is the trust boundary).
+    if (!std::isfinite(out))
+      return fail(ErrorCode::kNonFinite, "non-finite coordinate", start);
     return true;
   }
   bool string_lit(std::string& out) {
@@ -58,10 +94,12 @@ struct Cursor {
   /// Skip any JSON value (for members we don't care about).
   bool skip_value() {
     ws();
-    if (pos >= s.size()) return false;
+    if (pos >= s.size())
+      return fail(ErrorCode::kParse, "truncated document");
     const char c = s[pos];
     if (c == '{' || c == '[') {
       const char close = c == '{' ? '}' : ']';
+      const std::size_t start = pos;
       ++pos;
       int depth = 1;
       bool in_str = false;
@@ -78,7 +116,9 @@ struct Cursor {
           --depth;
         }
       }
-      return depth == 0;
+      if (depth != 0)
+        return fail(ErrorCode::kParse, "unterminated value", start);
+      return true;
     }
     if (c == '"') {
       std::string tmp;
@@ -97,7 +137,7 @@ bool parse_position(Cursor& c, Point& out) {
   if (!c.eat(',')) return false;
   if (!c.number(out.y)) return false;
   // Optional altitude and beyond: skip extra members.
-  while (c.eat(',')) {
+  while (c.accept(',')) {
     double z;
     if (!c.number(z)) return false;
   }
@@ -105,18 +145,22 @@ bool parse_position(Cursor& c, Point& out) {
 }
 
 bool parse_ring(Cursor& c, Contour& ring) {
+  const std::size_t start = c.pos;
   if (!c.eat('[')) return false;
   while (true) {
     Point p;
     if (!parse_position(c, p)) return false;
     ring.pts.push_back(p);
-    if (c.eat(',')) continue;
+    if (c.accept(',')) continue;
     break;
   }
   if (!c.eat(']')) return false;
   if (ring.pts.size() > 1 && ring.pts.front() == ring.pts.back())
     ring.pts.pop_back();
-  return ring.pts.size() >= 3;
+  if (ring.pts.size() < 3)
+    return c.fail(ErrorCode::kParse, "ring needs at least 3 distinct vertices",
+                  start);
+  return true;
 }
 
 bool parse_polygon_rings(Cursor& c, PolygonSet& out) {
@@ -128,10 +172,18 @@ bool parse_polygon_rings(Cursor& c, PolygonSet& out) {
     ring.hole = !first;  // GeoJSON: first ring is the shell
     first = false;
     out.contours.push_back(std::move(ring));
-    if (c.eat(',')) continue;
+    if (c.accept(',')) continue;
     break;
   }
   return c.eat(']');
+}
+
+std::optional<PolygonSet> report(Cursor& c, Error* err) {
+  if (err) {
+    if (!c.failed) c.fail(ErrorCode::kParse, "malformed GeoJSON");
+    *err = Error(c.code, c.msg, c.err_pos);
+  }
+  return std::nullopt;
 }
 
 }  // namespace
@@ -155,9 +207,9 @@ std::string to_geojson(const PolygonSet& p) {
   return os.str();
 }
 
-std::optional<PolygonSet> from_geojson(std::string_view json) {
+std::optional<PolygonSet> from_geojson(std::string_view json, Error* err) {
   Cursor c{json};
-  if (!c.eat('{')) return std::nullopt;
+  if (!c.eat('{')) return report(c, err);
   std::string type;
   bool have_coords = false;
   PolygonSet out;
@@ -167,43 +219,56 @@ std::optional<PolygonSet> from_geojson(std::string_view json) {
   std::size_t coords_pos = std::string::npos;
   while (true) {
     std::string key;
-    if (!c.string_lit(key)) return std::nullopt;
-    if (!c.eat(':')) return std::nullopt;
+    if (!c.string_lit(key)) return report(c, err);
+    if (!c.eat(':')) return report(c, err);
     if (key == "type") {
-      if (!c.string_lit(type)) return std::nullopt;
+      if (!c.string_lit(type)) return report(c, err);
     } else if (key == "coordinates") {
       coords_pos = c.pos;
-      if (!c.skip_value()) return std::nullopt;
+      if (!c.skip_value()) return report(c, err);
       have_coords = true;
     } else {
-      if (!c.skip_value()) return std::nullopt;
+      if (!c.skip_value()) return report(c, err);
     }
-    if (c.eat(',')) continue;
+    if (c.accept(',')) continue;
     break;
   }
-  if (!c.eat('}')) return std::nullopt;
-  if (!have_coords) return std::nullopt;
+  if (!c.eat('}')) return report(c, err);
+  // Reject trailing bytes after the object: a truncated or concatenated
+  // document is hostile input, not a geometry.
+  c.ws();
+  if (c.pos != c.s.size()) {
+    c.fail(ErrorCode::kParse, "trailing characters after geometry");
+    return report(c, err);
+  }
+  if (!have_coords) {
+    c.fail(ErrorCode::kParse, "missing \"coordinates\" member", 0);
+    return report(c, err);
+  }
 
   Cursor coords{json, coords_pos};
   if (type == "Polygon") {
-    if (!parse_polygon_rings(coords, out)) return std::nullopt;
+    if (!parse_polygon_rings(coords, out)) return report(coords, err);
     return out;
   }
   if (type == "MultiPolygon") {
-    if (!coords.eat('[')) return std::nullopt;
+    if (!coords.eat('[')) return report(coords, err);
     if (coords.peek(']')) {  // empty MultiPolygon
-      coords.eat(']');
+      coords.accept(']');
       return out;
     }
     while (true) {
-      if (!parse_polygon_rings(coords, out)) return std::nullopt;
-      if (coords.eat(',')) continue;
+      if (!parse_polygon_rings(coords, out)) return report(coords, err);
+      if (coords.accept(',')) continue;
       break;
     }
-    if (!coords.eat(']')) return std::nullopt;
+    if (!coords.eat(']')) return report(coords, err);
     return out;
   }
-  return std::nullopt;
+  c.fail(ErrorCode::kParse,
+         "unsupported geometry type \"" + type + "\" (Polygon/MultiPolygon)",
+         0);
+  return report(c, err);
 }
 
 }  // namespace psclip::geom

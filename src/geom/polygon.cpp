@@ -92,6 +92,18 @@ PolygonSet cleaned(const PolygonSet& p, double eps) {
   return out;
 }
 
+bool is_finite(const Contour& c) {
+  for (const auto& pt : c.pts)
+    if (!std::isfinite(pt.x) || !std::isfinite(pt.y)) return false;
+  return true;
+}
+
+bool is_finite(const PolygonSet& p) {
+  for (const auto& c : p.contours)
+    if (!is_finite(c)) return false;
+  return true;
+}
+
 std::string describe(const PolygonSet& p) {
   std::ostringstream os;
   os << p.num_contours() << " contours, " << p.num_vertices()

@@ -80,6 +80,12 @@ PolygonSet transformed(const PolygonSet& p, double scale, Point offset);
 /// duplicate vertices; returns the cleaned polygon.
 PolygonSet cleaned(const PolygonSet& p, double eps = 0.0);
 
+/// True when every coordinate of every vertex is finite (no NaN/Inf). The
+/// slab guards post-check clipper output with this; the parsers and
+/// geom::sanitize() use it to keep hostile coordinates out of the clippers.
+bool is_finite(const Contour& c);
+bool is_finite(const PolygonSet& p);
+
 /// Human-readable one-line summary ("3 contours, 1204 vertices, area=...").
 std::string describe(const PolygonSet& p);
 

@@ -1,0 +1,47 @@
+#include "geom/sanitize.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace psclip::geom {
+
+PolygonSet sanitize(const PolygonSet& p,
+                    std::vector<ValidationIssue>* issues) {
+  using Kind = ValidationIssue::Kind;
+  PolygonSet out;
+  out.contours.reserve(p.num_contours());
+  for (std::size_t ci = 0; ci < p.contours.size(); ++ci) {
+    const Contour& c = p.contours[ci];
+    Contour nc;
+    nc.hole = c.hole;
+    nc.pts.reserve(c.size());
+    for (std::size_t vi = 0; vi < c.size(); ++vi) {
+      const Point& pt = c[vi];
+      if (!std::isfinite(pt.x) || !std::isfinite(pt.y)) {
+        if (issues) issues->push_back({Kind::kNonFiniteVertex, ci, vi, 0, ""});
+        continue;
+      }
+      if (!nc.pts.empty() && nc.pts.back() == pt) {
+        if (issues) issues->push_back({Kind::kDuplicateVertex, ci, vi, 0, ""});
+        continue;
+      }
+      nc.pts.push_back(pt);
+    }
+    // The closing edge is implicit: a trailing vertex equal to the first is
+    // the same defect as a consecutive duplicate.
+    while (nc.pts.size() > 1 && nc.pts.back() == nc.pts.front()) {
+      if (issues)
+        issues->push_back({Kind::kDuplicateVertex, ci, nc.pts.size() - 1, 0,
+                           "duplicates the first vertex"});
+      nc.pts.pop_back();
+    }
+    if (nc.pts.size() < 3) {
+      if (issues) issues->push_back({Kind::kTooFewVertices, ci, 0, 0, ""});
+      continue;
+    }
+    out.contours.push_back(std::move(nc));
+  }
+  return out;
+}
+
+}  // namespace psclip::geom

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "geom/validate.hpp"
+
+namespace psclip::geom {
+
+/// Opt-in input repair for data of uncertain provenance — the permissive
+/// counterpart to the strict parsers. The parsers reject malformed
+/// documents outright; sanitize() takes a structurally well-formed polygon
+/// set and drops exactly the vertices/contours that could destabilize the
+/// clippers, keeping everything else bit-unchanged:
+///
+///   1. strip vertices with a non-finite coordinate (kNonFiniteVertex),
+///   2. collapse runs of consecutive identical vertices, including the
+///      implicit closing edge (kDuplicateVertex),
+///   3. drop contours left with fewer than 3 vertices (kTooFewVertices).
+///
+/// Passes run in that order on each contour, so a contour reduced below 3
+/// vertices by steps 1–2 is removed by step 3. Self-intersections, spikes
+/// and orientation issues are left alone: even-odd clipping semantics
+/// handles them, and "repairing" them would change the described region.
+///
+/// When `issues` is non-null, one ValidationIssue per repair is appended
+/// (same taxonomy as validate(), with contour/vertex indices referring to
+/// the *input* polygon set).
+PolygonSet sanitize(const PolygonSet& p,
+                    std::vector<ValidationIssue>* issues = nullptr);
+
+}  // namespace psclip::geom

@@ -17,6 +17,7 @@ const char* to_string(ValidationIssue::Kind k) {
     case ValidationIssue::Kind::kSpike: return "spike";
     case ValidationIssue::Kind::kZeroArea: return "zero-area";
     case ValidationIssue::Kind::kHoleOrientation: return "hole-orientation";
+    case ValidationIssue::Kind::kNonFiniteVertex: return "non-finite-vertex";
   }
   return "?";
 }
@@ -29,6 +30,14 @@ std::vector<ValidationIssue> validate(const PolygonSet& p,
   for (std::size_t ci = 0; ci < p.contours.size(); ++ci) {
     const Contour& c = p.contours[ci];
     const std::size_t n = c.size();
+    // Non-finite coordinates poison every other predicate (NaN compares
+    // false everywhere), so report and skip the rest for this contour.
+    if (!is_finite(c)) {
+      std::size_t v = 0;
+      while (v < n && std::isfinite(c[v].x) && std::isfinite(c[v].y)) ++v;
+      issues.push_back({Kind::kNonFiniteVertex, ci, v, 0, ""});
+      continue;
+    }
     if (n < 3) {
       issues.push_back({Kind::kTooFewVertices, ci, 0, 0, ""});
       continue;

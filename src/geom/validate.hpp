@@ -17,6 +17,7 @@ struct ValidationIssue {
     kSpike,                ///< zero-area excursion (v[i-1] == v[i+1])
     kZeroArea,             ///< contour with (near) zero area
     kHoleOrientation,      ///< hole flag inconsistent with orientation
+    kNonFiniteVertex,      ///< NaN/Inf coordinate (never valid anywhere)
   };
   Kind kind;
   std::size_t contour = 0;   ///< index of the (first) offending contour

@@ -2,7 +2,9 @@
 
 #include <cctype>
 #include <charconv>
+#include <cmath>
 #include <sstream>
+#include <utility>
 
 namespace psclip::geom {
 
@@ -33,6 +35,23 @@ namespace {
 struct Cursor {
   std::string_view s;
   std::size_t pos = 0;
+  // First failure, reported to the caller with its byte offset so hostile
+  // or truncated input is rejected with a position, not just "nullopt".
+  bool failed = false;
+  ErrorCode code = ErrorCode::kParse;
+  std::string msg;
+  std::size_t err_pos = 0;
+
+  bool fail(ErrorCode c, std::string m, std::size_t at) {
+    if (!failed) {
+      failed = true;
+      code = c;
+      msg = std::move(m);
+      err_pos = at;
+    }
+    return false;
+  }
+  bool fail(ErrorCode c, std::string m) { return fail(c, std::move(m), pos); }
 
   void skip_ws() {
     while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])))
@@ -44,36 +63,56 @@ struct Cursor {
       ++pos;
       return true;
     }
-    return false;
+    return fail(ErrorCode::kParse, std::string("expected '") + c + "'");
   }
   bool peek(char c) {
     skip_ws();
     return pos < s.size() && s[pos] == c;
   }
+  /// `eat` without recording a failure — for optional separators.
+  bool accept(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
   bool number(double& out) {
     skip_ws();
+    const std::size_t start = pos;
     const char* begin = s.data() + pos;
     const char* end = s.data() + s.size();
     auto [ptr, ec] = std::from_chars(begin, end, out);
-    if (ec != std::errc{}) return false;
+    if (ec == std::errc::result_out_of_range)
+      return fail(ErrorCode::kNonFinite, "coordinate overflows double", start);
+    if (ec != std::errc{})
+      return fail(ErrorCode::kParse, "expected number", start);
     pos += static_cast<std::size_t>(ptr - begin);
+    // from_chars accepts "inf"/"nan" spellings; a clipper input must not.
+    if (!std::isfinite(out))
+      return fail(ErrorCode::kNonFinite, "non-finite coordinate", start);
     return true;
   }
 };
 
 bool parse_ring(Cursor& c, Contour& out) {
+  const std::size_t start = c.pos;
   if (!c.eat('(')) return false;
   while (true) {
     double x, y;
     if (!c.number(x) || !c.number(y)) return false;
     out.pts.push_back({x, y});
-    if (c.eat(',')) continue;
+    if (c.accept(',')) continue;
     break;
   }
   if (!c.eat(')')) return false;
   if (out.pts.size() > 1 && out.pts.front() == out.pts.back())
     out.pts.pop_back();
-  return out.pts.size() >= 3;
+  if (out.pts.size() < 3)
+    return c.fail(ErrorCode::kParse, "ring needs at least 3 distinct vertices",
+                  start);
+  return true;
 }
 
 bool parse_polygon_body(Cursor& c, PolygonSet& out) {
@@ -82,7 +121,7 @@ bool parse_polygon_body(Cursor& c, PolygonSet& out) {
     Contour ring;
     if (!parse_ring(c, ring)) return false;
     out.contours.push_back(std::move(ring));
-    if (c.eat(',')) continue;
+    if (c.accept(',')) continue;
     break;
   }
   return c.eat(')');
@@ -99,28 +138,48 @@ bool match_keyword(Cursor& c, std::string_view kw) {
   return true;
 }
 
+std::optional<PolygonSet> report(Cursor& c, Error* err) {
+  if (err) {
+    if (!c.failed) c.fail(ErrorCode::kParse, "malformed WKT");
+    *err = Error(c.code, c.msg, c.err_pos);
+  }
+  return std::nullopt;
+}
+
+/// Success only if nothing but whitespace follows the geometry — trailing
+/// bytes mean a truncated/concatenated/hostile document, not a geometry.
+std::optional<PolygonSet> finish(Cursor& c, PolygonSet out, Error* err) {
+  c.skip_ws();
+  if (c.pos != c.s.size()) {
+    c.fail(ErrorCode::kParse, "trailing characters after geometry");
+    return report(c, err);
+  }
+  return out;
+}
+
 }  // namespace
 
-std::optional<PolygonSet> from_wkt(std::string_view wkt) {
+std::optional<PolygonSet> from_wkt(std::string_view wkt, Error* err) {
   Cursor c{wkt};
   PolygonSet out;
   if (match_keyword(c, "MULTIPOLYGON")) {
-    if (match_keyword(c, "EMPTY")) return out;
-    if (!c.eat('(')) return std::nullopt;
+    if (match_keyword(c, "EMPTY")) return finish(c, std::move(out), err);
+    if (!c.eat('(')) return report(c, err);
     while (true) {
-      if (!parse_polygon_body(c, out)) return std::nullopt;
-      if (c.eat(',')) continue;
+      if (!parse_polygon_body(c, out)) return report(c, err);
+      if (c.accept(',')) continue;
       break;
     }
-    if (!c.eat(')')) return std::nullopt;
-    return out;
+    if (!c.eat(')')) return report(c, err);
+    return finish(c, std::move(out), err);
   }
   if (match_keyword(c, "POLYGON")) {
-    if (match_keyword(c, "EMPTY")) return out;
-    if (!parse_polygon_body(c, out)) return std::nullopt;
-    return out;
+    if (match_keyword(c, "EMPTY")) return finish(c, std::move(out), err);
+    if (!parse_polygon_body(c, out)) return report(c, err);
+    return finish(c, std::move(out), err);
   }
-  return std::nullopt;
+  c.fail(ErrorCode::kParse, "expected POLYGON or MULTIPOLYGON", 0);
+  return report(c, err);
 }
 
 }  // namespace psclip::geom

@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "error.hpp"
 #include "geom/polygon.hpp"
 
 namespace psclip::geom {
@@ -14,8 +15,16 @@ namespace psclip::geom {
 std::string to_wkt(const PolygonSet& p);
 
 /// Parse `POLYGON ((...), (...))` or `MULTIPOLYGON (((...)), ...)` text.
-/// All rings (shells and holes alike) become contours. Returns nullopt on
-/// malformed input.
-std::optional<PolygonSet> from_wkt(std::string_view wkt);
+/// All rings (shells and holes alike) become contours.
+///
+/// Hardened against hostile input: non-finite coordinates ("inf"/"nan"
+/// spellings, values that overflow double), truncated documents, rings with
+/// fewer than 3 distinct vertices, and trailing bytes after the geometry
+/// are all rejected — a successful parse never hands the clippers a
+/// non-finite vertex. Returns nullopt on malformed input; when `err` is
+/// non-null it receives a psclip::Error whose offset() is the byte position
+/// of the first problem (code kParse for syntax, kNonFinite for coordinate
+/// problems).
+std::optional<PolygonSet> from_wkt(std::string_view wkt, Error* err = nullptr);
 
 }  // namespace psclip::geom

@@ -1,16 +1,42 @@
 #include "mt/algorithm2.hpp"
 
 #include <algorithm>
+#include <exception>
+#include <limits>
 #include <span>
+#include <string>
+#include <utility>
 
+#include "error.hpp"
 #include "mt/arena.hpp"
 #include "mt/slab_index.hpp"
+#include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
 #include "seq/vatti.hpp"
 
 namespace psclip::mt {
 namespace {
+
+/// Record the in-flight exception's taxonomy code and message into a slab's
+/// degradation report. Must be called from inside a catch block.
+void classify_failure(DegradationReport& rep) {
+  try {
+    throw;
+  } catch (const Error& e) {
+    rep.cause = e.code();
+    rep.message = e.what();
+  } catch (const std::bad_alloc&) {
+    rep.cause = ErrorCode::kResource;
+    rep.message = "std::bad_alloc";
+  } catch (const std::exception& e) {
+    rep.cause = ErrorCode::kSlabFailure;
+    rep.message = e.what();
+  } catch (...) {
+    rep.cause = ErrorCode::kSlabFailure;
+    rep.message = "unknown exception";
+  }
+}
 
 /// Slab boundaries with (nearly) equal event counts per slab, each placed
 /// midway between two adjacent distinct event ordinates so that no input
@@ -91,30 +117,39 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   struct SlabOut {
     geom::PolygonSet result;
     SlabLoad load;
+    DegradationReport report;
     double partition_seconds = 0.0;
     int worker = -1;  ///< pool worker that executed the slab (-1 = caller)
+    bool done = false;       ///< slab task body ran (vs. lost to a group fault)
+    bool exhausted = false;  ///< every per-slab ladder rung failed
   };
   std::vector<SlabOut> outs(nslabs);
   const double t_setup = phase_timer.seconds();
   phase_timer.reset();
 
-  // One stealable task per slab. Every worker starts with its round-robin
-  // share; whoever drains its deque first steals half of a busy worker's
-  // queued slabs, so oversubscribed decompositions (nslabs > pool.size())
-  // self-balance without any cost model. The slab decomposition is fixed
-  // before scheduling and outs[] is indexed by slab, so the result is
-  // byte-identical regardless of which worker runs which slab.
-  const std::vector<par::StealStats> steal_before = pool.steal_stats();
-  par::TaskGroup group(pool);
-  for (std::size_t t = 0; t < nslabs; ++t) {
-    group.run([&, t] {
-      SlabOut& so = outs[t];
-      so.worker = pool.current_worker();
+  // Rectangle clipper for the kAltRectMethod rung: whichever of the two
+  // full clippers the run was *not* configured with.
+  const seq::RectClipMethod alt_method =
+      opts.rect_method == seq::RectClipMethod::kVatti
+          ? seq::RectClipMethod::kGreinerHormann
+          : seq::RectClipMethod::kVatti;
+
+  // One attempt at one slab on one ladder rung. Throws on any failure —
+  // injected faults, resource exhaustion, or a non-finite coordinate caught
+  // by the post-checks — with `so` reset so the next rung starts clean.
+  auto attempt_slab = [&](std::size_t t, SlabOut& so, Rung rung) {
+    so.result = geom::PolygonSet{};
+    so.load = SlabLoad{};
+    so.partition_seconds = 0.0;
+    par::WallTimer timer;
+    const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
+                          bounds[t + 1]};
+    geom::PolygonSet a_t, b_t;
+    seq::VattiScratch* scratch = nullptr;
+    if (rung == Rung::kHealthy) {
       SlabArena& arena = worker_arena();
       ++arena.tasks_served;
-      par::WallTimer timer;
-      const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
-                            bounds[t + 1]};
+      scratch = &arena.vatti;
       // Materialize this slab's inputs. Indexed: walk the overlap list
       // (ascending contour order == the broadcast scan order) and hand
       // rect_clip_subset the precomputed inside flags; the slab only reads
@@ -140,18 +175,148 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
         return seq::rect_clip_subset(arena.refs, arena.inside, rect,
                                      opts.rect_method, &arena.rect);
       };
-      geom::PolygonSet a_t = slab_input(subject, sub_idx);
-      geom::PolygonSet b_t = slab_input(clip, clip_idx);
-      so.partition_seconds = timer.seconds();
-      timer.reset();
-      seq::VattiStats vs;
-      so.result = seq::vatti_clip(a_t, b_t, op, &vs, &arena.vatti);
-      so.load.seconds = timer.seconds();
-      so.load.input_edges = vs.edges;
-      so.load.output_vertices = vs.output_vertices;
+      a_t = slab_input(subject, sub_idx);
+      b_t = slab_input(clip, clip_idx);
+    } else if (rung == Rung::kRetrySafe || rung == Rung::kAltRectMethod) {
+      // Broadcast partition, fresh scratch, no arena: bit-identical to the
+      // healthy path (kRetrySafe) or the same region via the alternate
+      // rectangle clipper (kAltRectMethod).
+      const seq::RectClipMethod m =
+          rung == Rung::kRetrySafe ? opts.rect_method : alt_method;
+      so.load.touched_edges =
+          static_cast<std::int64_t>(subject.num_vertices() +
+                                    clip.num_vertices());
+      a_t = seq::rect_clip(subject, rect, m);
+      b_t = seq::rect_clip(clip, rect, m);
+    } else {  // kSlabSequential: no rect_clip fast path at all — clip the
+              // slab rectangle as an ordinary polygon operand with the full
+              // sequential Vatti clipper.
+      geom::PolygonSet rp;
+      rp.contours.push_back(
+          geom::make_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax));
+      so.load.touched_edges =
+          static_cast<std::int64_t>(subject.num_vertices() +
+                                    clip.num_vertices());
+      a_t = seq::vatti_clip(subject, rp, geom::BoolOp::kIntersection);
+      b_t = seq::vatti_clip(clip, rp, geom::BoolOp::kIntersection);
+    }
+    so.partition_seconds = timer.seconds();
+    // Never hand a corrupted partition to the sweep: a NaN vertex can wedge
+    // the event queue, not just skew the output.
+    if (!geom::is_finite(a_t) || !geom::is_finite(b_t))
+      throw Error(ErrorCode::kNonFinite,
+                  "non-finite vertex in slab " + std::to_string(t) +
+                      " partition output");
+    timer.reset();
+    seq::VattiStats vs;
+    so.result = seq::vatti_clip(a_t, b_t, op, &vs, scratch);
+    if (rung == Rung::kHealthy &&
+        par::fault::corrupt(par::fault::Site::kArena)) {
+      const double nan = std::numeric_limits<double>::quiet_NaN();
+      so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+    }
+    so.load.seconds = timer.seconds();
+    so.load.input_edges = vs.edges;
+    so.load.output_vertices = vs.output_vertices;
+    if (!geom::is_finite(so.result))
+      throw Error(ErrorCode::kNonFinite,
+                  "non-finite vertex in slab " + std::to_string(t) +
+                      " clip output");
+  };
+
+  // Walk one slab down the degradation ladder starting at `first`. Records
+  // rung reached / attempt count / first cause in so.report; flags the slab
+  // exhausted when every rung fails. Never throws.
+  auto run_ladder = [&](std::size_t t, SlabOut& so, Rung first) {
+    so.done = true;
+    static constexpr Rung kLadder[] = {Rung::kHealthy, Rung::kRetrySafe,
+                                       Rung::kAltRectMethod,
+                                       Rung::kSlabSequential};
+    bool recorded = !so.report.message.empty();
+    for (const Rung rung : kLadder) {
+      if (rung < first) continue;
+      ++so.report.attempts;
+      try {
+        attempt_slab(t, so, rung);
+        so.report.rung = rung;
+        return;
+      } catch (...) {
+        if (!recorded) {
+          classify_failure(so.report);
+          recorded = true;
+        }
+      }
+    }
+    so.result = geom::PolygonSet{};  // a failed attempt may leave debris
+    so.exhausted = true;
+  };
+
+  // One stealable task per slab. Every worker starts with its round-robin
+  // share; whoever drains its deque first steals half of a busy worker's
+  // queued slabs, so oversubscribed decompositions (nslabs > pool.size())
+  // self-balance without any cost model. The slab decomposition is fixed
+  // before scheduling and outs[] is indexed by slab, so the result is
+  // byte-identical regardless of which worker runs which slab.
+  const std::vector<par::StealStats> steal_before = pool.steal_stats();
+  par::TaskGroup group(pool);
+  for (std::size_t t = 0; t < nslabs; ++t) {
+    group.run([&, t] {
+      SlabOut& so = outs[t];
+      so.worker = pool.current_worker();
+      // Deterministic fault key: a plan keyed on slab index t fires for
+      // this slab no matter which worker the scheduler hands it to.
+      par::fault::ScopedKey key(t);
+      if (opts.isolate_faults) {
+        so.report.attempts = 0;
+        run_ladder(t, so, Rung::kHealthy);
+      } else {
+        attempt_slab(t, so, Rung::kHealthy);
+        so.done = true;
+      }
     });
   }
-  group.wait();
+  bool any_exhausted = false;
+  if (!opts.isolate_faults) {
+    group.wait();  // fail-fast: first slab failure propagates unchanged
+  } else {
+    DegradationReport group_rep;
+    bool group_failed = false;
+    try {
+      group.wait();
+    } catch (...) {
+      // A fault fired in the scheduler wrapper itself (or several task
+      // bodies were lost): TaskGroup aggregated it into one exception and
+      // skipped not-yet-started tasks. Recover every lost slab here on the
+      // calling thread, starting one rung down the ladder.
+      group_failed = true;
+      classify_failure(group_rep);
+    }
+    if (group_failed) {
+      for (std::size_t t = 0; t < nslabs; ++t) {
+        SlabOut& so = outs[t];
+        if (so.done) continue;
+        so.report = group_rep;
+        so.report.attempts = 1;  // the task attempt the group aborted
+        par::fault::ScopedKey key(t);
+        run_ladder(t, so, Rung::kRetrySafe);
+      }
+    }
+    for (const SlabOut& so : outs)
+      if (so.exhausted) any_exhausted = true;
+    if (any_exhausted) {
+      // Final rung: abandon the slab decomposition and recompute the whole
+      // request sequentially. Runs keyless so slab-keyed fault plans cannot
+      // follow the computation here; a fault that still fires (kAnyKey plan
+      // with shots left) means nothing can produce output, and propagates.
+      par::fault::ScopedKey key(par::fault::kNoKey);
+      geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
+      for (SlabOut& so : outs) {
+        so.result = geom::PolygonSet{};
+        so.report.rung = Rung::kWholeInput;
+      }
+      outs[0].result = std::move(whole);
+    }
+  }
 
   const double t_par = phase_timer.seconds();
   phase_timer.reset();
@@ -165,8 +330,10 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   if (stats) {
     double partition_in_slabs = 0.0;
     stats->slabs.clear();
+    stats->degradation.clear();
     for (const auto& so : outs) {
       stats->slabs.push_back(so.load);
+      stats->degradation.push_back(so.report);
       partition_in_slabs += so.partition_seconds;
     }
     // Per-worker scheduling record: slot i < pool.size() is pool worker i,

@@ -44,6 +44,15 @@ struct Alg2Options {
   /// Partition-input selection strategy (see Alg2Partition). Both settings
   /// produce byte-identical results; kBroadcast exists for ablation.
   Alg2Partition partition = Alg2Partition::kIndexed;
+  /// Fault isolation (default on): every slab task runs behind a guard that
+  /// catches exceptions and rejects non-finite output, then walks the
+  /// degradation ladder (see mt::Rung) — retry on safe settings, alternate
+  /// rectangle clipper, per-slab sequential Vatti, and finally a whole-input
+  /// sequential recompute. A fault confined to one slab therefore degrades
+  /// that slab only; Alg2Stats::degradation records how far each slab fell.
+  /// Off: the first slab failure propagates out of slab_clip unchanged
+  /// (fail-fast, the pre-isolation behavior).
+  bool isolate_faults = true;
 };
 
 /// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts

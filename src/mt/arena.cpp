@@ -1,5 +1,6 @@
 #include "mt/arena.hpp"
 
+#include "parallel/fault.hpp"
 #include "parallel/worker_local.hpp"
 
 namespace psclip::mt {
@@ -12,7 +13,10 @@ par::WorkerLocal<SlabArena>& registry() {
 
 }  // namespace
 
-SlabArena& worker_arena() { return registry().local(); }
+SlabArena& worker_arena() {
+  par::fault::inject(par::fault::Site::kArena);
+  return registry().local();
+}
 
 std::size_t worker_arena_count() { return registry().slots(); }
 

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <exception>
 #include <limits>
+#include <string>
+#include <utility>
 
+#include "error.hpp"
 #include "mt/arena.hpp"
+#include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
 #include "seq/vatti.hpp"
@@ -267,24 +272,112 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   struct SlabOut {
     geom::PolygonSet result;
     SlabLoad load;
+    DegradationReport report;
+    bool exhausted = false;
   };
   std::vector<SlabOut> outs(nwork);
+
+  // One attempt at one slab. The slab inputs live in the shared
+  // slab_subject/slab_clip_in vectors (immutable during the clip phase), so
+  // a retry simply re-reads them; the only state a rung sheds is the
+  // worker-local arena. Throws on failure with outs[t] reset.
+  auto attempt_slab = [&](std::size_t t, Rung rung) {
+    SlabOut& so = outs[t];
+    so.result = geom::PolygonSet{};
+    so.load = SlabLoad{};
+    par::WallTimer timer;
+    seq::VattiStats vs;
+    if (rung == Rung::kHealthy) {
+      SlabArena& arena = worker_arena();
+      ++arena.tasks_served;
+      so.result = seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs,
+                                  &arena.vatti);
+      if (par::fault::corrupt(par::fault::Site::kArena)) {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+      }
+    } else {  // kRetrySafe: fresh scratch, no arena — bit-identical rerun.
+      so.result =
+          seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs, nullptr);
+    }
+    so.load.seconds = timer.seconds();
+    so.load.input_edges = vs.edges;
+    so.load.output_vertices = vs.output_vertices;
+    so.load.touched_edges = static_cast<std::int64_t>(
+        slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
+    if (!geom::is_finite(so.result))
+      throw Error(ErrorCode::kNonFinite,
+                  "non-finite vertex in multiset slab " + std::to_string(t) +
+                      " output");
+  };
+
   pool.parallel_for(
       nwork,
       [&](std::size_t t) {
-        SlabArena& arena = worker_arena();
-        ++arena.tasks_served;
-        par::WallTimer timer;
-        seq::VattiStats vs;
-        outs[t].result = seq::vatti_clip(slab_subject[t], slab_clip_in[t], op,
-                                         &vs, &arena.vatti);
-        outs[t].load.seconds = timer.seconds();
-        outs[t].load.input_edges = vs.edges;
-        outs[t].load.output_vertices = vs.output_vertices;
-        outs[t].load.touched_edges = static_cast<std::int64_t>(
-            slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
+        // Deterministic fault key: plans keyed on slab t fire for slab t
+        // regardless of which worker the pool hands it to.
+        par::fault::ScopedKey key(t);
+        if (!opts.isolate_faults) {
+          attempt_slab(t, Rung::kHealthy);
+          return;
+        }
+        SlabOut& so = outs[t];
+        so.report.attempts = 0;
+        bool recorded = false;
+        for (const Rung rung : {Rung::kHealthy, Rung::kRetrySafe}) {
+          ++so.report.attempts;
+          try {
+            attempt_slab(t, rung);
+            so.report.rung = rung;
+            return;
+          } catch (const Error& e) {
+            if (!recorded) {
+              so.report.cause = e.code();
+              so.report.message = e.what();
+              recorded = true;
+            }
+          } catch (const std::bad_alloc&) {
+            if (!recorded) {
+              so.report.cause = ErrorCode::kResource;
+              so.report.message = "std::bad_alloc";
+              recorded = true;
+            }
+          } catch (const std::exception& e) {
+            if (!recorded) {
+              so.report.cause = ErrorCode::kSlabFailure;
+              so.report.message = e.what();
+              recorded = true;
+            }
+          } catch (...) {
+            if (!recorded) {
+              so.report.cause = ErrorCode::kSlabFailure;
+              so.report.message = "unknown exception";
+              recorded = true;
+            }
+          }
+        }
+        so.result = geom::PolygonSet{};
+        so.exhausted = true;
       },
       /*grain=*/1);
+
+  bool any_exhausted = false;
+  for (const auto& so : outs)
+    if (so.exhausted) any_exhausted = true;
+  if (any_exhausted) {
+    // Final rung: one sequential clip of the whole multisets, replacing
+    // every per-slab output (same region; contours are no longer grouped
+    // per slab and dedup becomes unnecessary). Runs keyless so slab-keyed
+    // fault plans cannot follow the computation here.
+    par::fault::ScopedKey key(par::fault::kNoKey);
+    geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
+    for (auto& so : outs) {
+      so.result = geom::PolygonSet{};
+      so.report.rung = Rung::kWholeInput;
+    }
+    outs[0].result = std::move(whole);
+    need_dedup = false;
+  }
   const double t_clip = phase_timer.seconds();
   phase_timer.reset();
 
@@ -301,7 +394,11 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
 
   if (stats) {
     stats->slabs.clear();
-    for (const auto& so : outs) stats->slabs.push_back(so.load);
+    stats->degradation.clear();
+    for (const auto& so : outs) {
+      stats->slabs.push_back(so.load);
+      stats->degradation.push_back(so.report);
+    }
     stats->phases.partition = t_events + t_assign;
     stats->phases.clip = t_clip;
     stats->phases.merge = t_merge;

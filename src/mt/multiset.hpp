@@ -40,6 +40,13 @@ const char* to_string(MultisetAssign a);
 struct MultisetOptions {
   unsigned slabs = 0;  ///< 0 = pool thread count
   MultisetAssign assign = MultisetAssign::kAuto;
+  /// Fault isolation (default on): each slab's clip runs behind a guard
+  /// that catches exceptions and rejects non-finite output, retries the
+  /// slab on safe settings (fresh scratch, no arena — bit-identical), and
+  /// falls back to one sequential whole-input clip if a slab still cannot
+  /// complete. Alg2Stats::degradation records the rung per slab. Off:
+  /// the first slab failure propagates out of multiset_clip unchanged.
+  bool isolate_faults = true;
 };
 
 /// Clip two *sets* of polygons (e.g. two GIS layers) — the paper's

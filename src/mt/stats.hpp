@@ -1,9 +1,60 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "error.hpp"
+
 namespace psclip::mt {
+
+/// Rung of the per-slab degradation ladder a slab ended on. Rungs are tried
+/// in declaration order; each is strictly more conservative (and slower)
+/// than the one before it.
+enum class Rung : std::uint8_t {
+  /// The configured fast path (indexed partition + worker arena) succeeded.
+  kHealthy = 0,
+  /// Retry on safe settings: broadcast partition (slab_clip) or re-read
+  /// shared slab inputs (multiset_clip), fresh scratch, no arena. Produces
+  /// bit-identical output to the healthy path — the recovery rung for every
+  /// transient or state-corruption fault.
+  kRetrySafe,
+  /// slab_clip only: broadcast partition with the *alternate* rectangle
+  /// clipper (Vatti if the configured method was Greiner–Hormann, and vice
+  /// versa). Same region, possibly different vertex representation.
+  kAltRectMethod,
+  /// slab_clip only: the slab's rectangle re-clipped against both whole
+  /// inputs with the full sequential Vatti clipper (rectangle as a polygon
+  /// operand — no rect_clip fast path at all).
+  kSlabSequential,
+  /// Final rung: the entire request recomputed by the sequential Vatti
+  /// clipper, abandoning the slab decomposition (result contours are no
+  /// longer split at slab boundaries).
+  kWholeInput,
+};
+
+inline const char* to_string(Rung r) {
+  switch (r) {
+    case Rung::kHealthy: return "healthy";
+    case Rung::kRetrySafe: return "retry-safe";
+    case Rung::kAltRectMethod: return "alt-rect-method";
+    case Rung::kSlabSequential: return "slab-sequential";
+    case Rung::kWholeInput: return "whole-input";
+  }
+  return "?";
+}
+
+/// Per-slab record of how far down the degradation ladder a slab went.
+/// All-healthy runs record rung == kHealthy and attempts == 1 everywhere.
+struct DegradationReport {
+  Rung rung = Rung::kHealthy;
+  /// Total attempts made for this slab, including the successful one.
+  std::uint32_t attempts = 1;
+  /// Code of the *first* failure (meaningful when rung != kHealthy).
+  ErrorCode cause = ErrorCode::kSlabFailure;
+  /// Message of the first failure (empty when healthy).
+  std::string message;
+};
 
 /// Per-phase wall-clock seconds for Algorithm 2, matching the breakdown
 /// the paper reports in Fig. 9 (partitioning = Steps 4–5, clipping =
@@ -50,8 +101,27 @@ struct Alg2Stats {
   PhaseTimes phases;
   std::vector<SlabLoad> slabs;
   std::vector<WorkerLoad> workers;  ///< slab scheduler only (see WorkerLoad)
+  /// Per-slab fault-isolation record, index-aligned with `slabs`. When the
+  /// whole-input fallback fired, every entry reports Rung::kWholeInput.
+  std::vector<DegradationReport> degradation;
   std::int64_t output_contours = 0;
   std::int64_t duplicates_removed = 0;  ///< multiset variant only
+
+  /// Number of slabs that did not complete on the healthy fast path.
+  [[nodiscard]] std::int64_t degraded_slabs() const {
+    std::int64_t n = 0;
+    for (const auto& d : degradation)
+      if (d.rung != Rung::kHealthy) ++n;
+    return n;
+  }
+
+  /// Deepest ladder rung any slab reached in this run.
+  [[nodiscard]] Rung worst_rung() const {
+    Rung worst = Rung::kHealthy;
+    for (const auto& d : degradation)
+      if (d.rung > worst) worst = d.rung;
+    return worst;
+  }
 
   /// max(slab time) / mean(slab time): 1.0 = perfectly balanced.
   [[nodiscard]] double load_imbalance() const {

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <exception>
+#include <string>
 
+#include "error.hpp"
 #include "parallel/timing.hpp"
 
 namespace psclip::par {
@@ -236,13 +238,19 @@ void ThreadPool::parallel_for(std::size_t n,
     return;
   }
 
+  // Failure bookkeeping shared by all drivers: the first exception is kept
+  // whole, later ones are counted (never silently dropped) and folded into
+  // one aggregated psclip::Error when more than one driver threw.
   auto next = std::make_shared<std::atomic<std::size_t>>(0);
   auto pending = std::make_shared<std::atomic<unsigned>>(0);
   auto error = std::make_shared<std::atomic<bool>>(false);
+  auto failures = std::make_shared<std::atomic<std::uint64_t>>(0);
   auto eptr = std::make_shared<std::exception_ptr>();
+  auto first_msg = std::make_shared<std::string>();
   auto eptr_mu = std::make_shared<std::mutex>();
 
-  auto drive = [next, pending, error, eptr, eptr_mu, n, grain, &body] {
+  auto drive = [next, pending, error, failures, eptr, first_msg, eptr_mu, n,
+                grain, &body] {
     try {
       for (;;) {
         const std::size_t begin = next->fetch_add(grain);
@@ -251,8 +259,18 @@ void ThreadPool::parallel_for(std::size_t n,
         for (std::size_t i = begin; i < end; ++i) body(i);
       }
     } catch (...) {
+      failures->fetch_add(1, std::memory_order_acq_rel);
       std::lock_guard lk(*eptr_mu);
-      if (!error->exchange(true)) *eptr = std::current_exception();
+      if (!error->exchange(true)) {
+        *eptr = std::current_exception();
+        try {
+          std::rethrow_exception(std::current_exception());
+        } catch (const std::exception& e) {
+          *first_msg = e.what();
+        } catch (...) {
+          *first_msg = "unknown exception";
+        }
+      }
     }
     pending->fetch_sub(1, std::memory_order_acq_rel);
   };
@@ -264,7 +282,12 @@ void ThreadPool::parallel_for(std::size_t n,
   drive();  // caller participates
   while (pending->load(std::memory_order_acquire) != 0)
     std::this_thread::yield();
-  if (error->load() && *eptr) std::rethrow_exception(*eptr);
+  const std::uint64_t nfail = failures->load(std::memory_order_acquire);
+  if (nfail > 1)
+    throw Error(ErrorCode::kTaskFailure, std::to_string(nfail) +
+                                             " tasks failed; first: " +
+                                             *first_msg);
+  if (nfail == 1 && *eptr) std::rethrow_exception(*eptr);
 }
 
 void ThreadPool::parallel_blocks(

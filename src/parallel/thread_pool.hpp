@@ -41,7 +41,10 @@ class ThreadPool {
   /// Run `body(i)` for every i in [0, n). Work is distributed dynamically
   /// in chunks of `grain` indices, so irregular per-item cost (the norm for
   /// polygon workloads, cf. Fig. 11) still balances. Blocks until done.
-  /// Exceptions from `body` propagate to the caller (first one wins).
+  /// Exceptions from `body` propagate to the caller: a single failure is
+  /// rethrown unchanged; concurrent failures are all counted and folded
+  /// into one psclip::Error (kTaskFailure, count + first message). Chunks
+  /// not yet started when a failure lands are skipped.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body,
                     std::size_t grain = 1);
 

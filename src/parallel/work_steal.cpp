@@ -1,8 +1,11 @@
 #include "parallel/work_steal.hpp"
 
+#include <exception>
 #include <thread>
 #include <utility>
 
+#include "error.hpp"
+#include "parallel/fault.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace psclip::par {
@@ -48,18 +51,35 @@ std::size_t StealDeque::size() const {
 
 TaskGroup::~TaskGroup() { drain(); }
 
+void TaskGroup::record_failure() {
+  failures_.fetch_add(1, std::memory_order_acq_rel);
+  std::lock_guard lk(eptr_mu_);
+  if (!failed_.exchange(true, std::memory_order_acq_rel)) {
+    eptr_ = std::current_exception();
+    try {
+      std::rethrow_exception(std::current_exception());
+    } catch (const std::exception& e) {
+      first_message_ = e.what();
+    } catch (...) {
+      first_message_ = "unknown exception";
+    }
+  }
+}
+
 void TaskGroup::run(std::function<void()> task) {
+  const std::uint64_t idx = seq_.fetch_add(1, std::memory_order_relaxed);
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.submit_stealable([this, task = std::move(task)] {
-    // After a failure the remaining group tasks are skipped, not run —
-    // the same early-exit parallel_for applies to its chunks.
+  pool_.submit_stealable([this, idx, task = std::move(task)] {
+    // After a failure the not-yet-started group tasks are skipped, not run
+    // — the same early exit parallel_for applies to its chunks. Tasks
+    // already in flight can still throw; every throw is recorded.
     if (!failed_.load(std::memory_order_acquire)) {
       try {
+        fault::ScopedKey key(idx);
+        fault::inject(fault::Site::kTaskGroup);
         task();
       } catch (...) {
-        std::lock_guard lk(eptr_mu_);
-        if (!failed_.exchange(true, std::memory_order_acq_rel))
-          eptr_ = std::current_exception();
+        record_failure();
       }
     }
     pending_.fetch_sub(1, std::memory_order_acq_rel);
@@ -78,11 +98,17 @@ void TaskGroup::wait() {
   drain();
   if (failed_.load(std::memory_order_acquire)) {
     std::exception_ptr e;
+    std::string msg;
     {
       std::lock_guard lk(eptr_mu_);
       e = std::exchange(eptr_, nullptr);
+      msg = std::exchange(first_message_, {});
     }
+    const std::uint64_t n = failures_.exchange(0, std::memory_order_acq_rel);
     failed_.store(false, std::memory_order_release);  // group is reusable
+    if (n > 1)
+      throw Error(ErrorCode::kTaskFailure,
+                  std::to_string(n) + " tasks failed; first: " + msg);
     if (e) std::rethrow_exception(e);
   }
 }

@@ -65,9 +65,13 @@ struct StealStats {
 /// it helps drain the pool's queues, so a TaskGroup can be used from inside
 /// another task without deadlocking the pool.
 ///
-/// Exceptions: the first task to throw wins; later tasks in the group are
-/// skipped (their bodies never run) and wait() rethrows the winner. This
-/// mirrors ThreadPool::parallel_for's contract.
+/// Exceptions: after the first task throws, tasks that have not yet started
+/// are skipped (their bodies never run), but tasks already in flight may
+/// still throw — every such exception is *counted*, none is dropped. wait()
+/// rethrows the first exception unchanged when it was the only one, and
+/// otherwise throws one aggregated psclip::Error (kTaskFailure) carrying
+/// the failure count and the first failure's message. This mirrors
+/// ThreadPool::parallel_for's contract.
 class TaskGroup {
  public:
   explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
@@ -84,19 +88,24 @@ class TaskGroup {
   void run(std::function<void()> task);
 
   /// Block until every submitted task has completed, helping to execute
-  /// queued tasks meanwhile. Rethrows the first task exception, if any.
+  /// queued tasks meanwhile. Rethrows the first task exception if it was
+  /// the only one, else one aggregated psclip::Error (see class comment).
   /// May be called at most once per quiescent group, but run()/wait()
   /// cycles may repeat.
   void wait();
 
  private:
   void drain();
+  void record_failure();
 
   ThreadPool& pool_;
   std::atomic<std::uint64_t> pending_{0};
   std::atomic<bool> failed_{false};
+  std::atomic<std::uint64_t> failures_{0};  ///< tasks that actually threw
+  std::atomic<std::uint64_t> seq_{0};       ///< submission index (fault key)
   std::mutex eptr_mu_;
-  std::exception_ptr eptr_;
+  std::exception_ptr eptr_;    ///< first exception (guarded by eptr_mu_)
+  std::string first_message_;  ///< its message (guarded by eptr_mu_)
 };
 
 }  // namespace psclip::par

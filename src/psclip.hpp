@@ -14,6 +14,7 @@
 ///   mt::slab_clip / mt::multiset_clip   the paper's Algorithm 2
 
 #include "core/algorithm1.hpp"
+#include "error.hpp"
 #include "geom/area_oracle.hpp"
 #include "geom/bool_op.hpp"
 #include "geom/geojson.hpp"
@@ -21,6 +22,7 @@
 #include "geom/perturb.hpp"
 #include "geom/point_in_polygon.hpp"
 #include "geom/polygon.hpp"
+#include "geom/sanitize.hpp"
 #include "geom/svg.hpp"
 #include "geom/validate.hpp"
 #include "geom/wkt.hpp"

@@ -1,7 +1,9 @@
 #include "seq/rect_clip.hpp"
 
 #include <cassert>
+#include <limits>
 
+#include "parallel/fault.hpp"
 #include "seq/greiner_hormann.hpp"
 #include "seq/sutherland_hodgman.hpp"
 #include "seq/vatti.hpp"
@@ -16,6 +18,7 @@ namespace {
 void clip_straddling(const geom::PolygonSet& straddling,
                      const geom::BBox& rect, RectClipMethod method,
                      geom::PolygonSet& out) {
+  par::fault::inject(par::fault::Site::kRectClip);
   const geom::Contour rring =
       geom::make_rect(rect.xmin, rect.ymin, rect.xmax, rect.ymax);
   geom::PolygonSet clipped;
@@ -35,6 +38,10 @@ void clip_straddling(const geom::PolygonSet& straddling,
       break;
   }
   for (auto& c : clipped.contours) out.contours.push_back(std::move(c));
+  if (par::fault::corrupt(par::fault::Site::kRectClip)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    out.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+  }
 }
 
 }  // namespace

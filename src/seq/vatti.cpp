@@ -23,11 +23,13 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <unordered_map>
 #include <vector>
 
 #include "geom/intersect.hpp"
 #include "geom/perturb.hpp"
+#include "parallel/fault.hpp"
 #include "seq/bounds.hpp"
 #include "seq/out_poly.hpp"
 #include "seq/sweep_events.hpp"
@@ -402,6 +404,7 @@ class Sweep {
 
 PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
                       BoolOp op, VattiStats* stats, VattiScratch* scratch) {
+  par::fault::inject(par::fault::Site::kVattiSweep);
   PolygonSet s = geom::cleaned(subject);
   PolygonSet c = geom::cleaned(clip);
   geom::remove_horizontals(s);
@@ -412,7 +415,12 @@ PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
   sc.impl->begin_run();
   ++sc.runs;
   Sweep sweep(*sc.impl, op);
-  return sweep.run(stats);
+  PolygonSet out = sweep.run(stats);
+  if (par::fault::corrupt(par::fault::Site::kVattiSweep)) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    out.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+  }
+  return out;
 }
 
 }  // namespace psclip::seq

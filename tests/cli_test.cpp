@@ -92,4 +92,42 @@ TEST_F(CliTest, MissingFileFails) {
   EXPECT_EQ(rc, 1);
 }
 
+TEST_F(CliTest, MalformedInputReportsByteOffset) {
+  const std::string bad = testing::TempDir() + "/psclip_cli_bad.wkt";
+  std::ofstream(bad) << "POLYGON ((0 0, inf 0, 1 1))";
+  int rc = -1;
+  const std::string out = run("union " + bad + " " + b_path_, &rc);
+  std::remove(bad.c_str());
+  EXPECT_EQ(rc, 1);
+  // Positioned, classified error: code name and byte offset on stderr.
+  EXPECT_NE(out.find("non-finite-coordinate"), std::string::npos) << out;
+  EXPECT_NE(out.find("byte 15"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, SanitizeRepairsDefectiveInput) {
+  // Parseable but defective: a consecutive duplicate vertex. Clipped as-is
+  // without --sanitize; repaired (and reported) with it. Same area both
+  // ways — sanitize only removes what contributes nothing.
+  const std::string dup = testing::TempDir() + "/psclip_cli_dup.wkt";
+  std::ofstream(dup) << "POLYGON ((0 0, 0 0, 10 0, 10 10, 0 10, 0 0))";
+  int rc = -1;
+  const std::string plain =
+      run("intersection " + dup + " " + b_path_ + " --out=area", &rc);
+  EXPECT_EQ(rc, 0);
+  EXPECT_NEAR(std::stod(plain), 25.0, 1e-3);
+
+  const std::string repaired = run(
+      "intersection " + dup + " " + b_path_ + " --out=area --sanitize", &rc);
+  std::remove(dup.c_str());
+  EXPECT_EQ(rc, 0);
+  EXPECT_NE(repaired.find("sanitized duplicate-vertex"), std::string::npos)
+      << repaired;
+  // Last line is the area (stderr repair notes precede it in merged output).
+  const auto nl = repaired.find_last_not_of("\n");
+  const auto line = repaired.rfind('\n', nl);
+  EXPECT_NEAR(std::stod(repaired.substr(line == std::string::npos ? 0
+                                                                  : line + 1)),
+              25.0, 1e-3);
+}
+
 }  // namespace

@@ -1,0 +1,94 @@
+// Fault-injection fuzz lane (requires -DPSCLIP_FAULT_INJECTION=ON).
+//
+// Reuses the exact 216-case corpus of the cross-engine differential
+// harness (tests/fuzz_cases.hpp). For every case: run Algorithm 2 clean,
+// then arm a single-shot fault plan derived from the case seed
+// (fault::seeded_plan picks site, kind and slab key pseudo-randomly) and
+// run again. A single-shot fault is always recovered on the kRetrySafe
+// rung — broadcast repartition with fresh scratch, which PR 2's
+// indexed≡broadcast guarantee makes bit-equal to the healthy path — so
+// the faulted run must be BYTE-IDENTICAL to the clean run, not merely
+// area-equal, on every corpus case. Degradation accounting must show
+// nothing deeper than kRetrySafe.
+//
+// Some seeded plans target a slab/site combination the case never reaches
+// (an out-of-range key, a rect-clip site when a slab has no straddling
+// contours). Those plans simply never fire; the identity requirement
+// holds either way, and the harness logs how many plans actually fired so
+// a generator regression that silences the whole lane is visible.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "fuzz_cases.hpp"
+#include "mt/algorithm2.hpp"
+#include "mt/stats.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psclip {
+namespace {
+
+using fuzz::canonical_vertices;
+using fuzz::FuzzCase;
+using fuzz::Inputs;
+using fuzz::make_inputs;
+using geom::PolygonSet;
+
+static_assert(par::fault::kEnabled,
+              "fault_fuzz_test requires PSCLIP_FAULT_INJECTION=ON");
+
+constexpr unsigned kSlabs = 6;
+
+class FaultFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(FaultFuzz, SingleShotFaultIsInvisible) {
+  const FuzzCase c = GetParam();
+  const par::fault::Plan plan = par::fault::seeded_plan(c.seed, kSlabs);
+  SCOPED_TRACE("repro: " + c.repro() +
+               " fault=" + par::fault::to_string(plan.site) + "/" +
+               par::fault::to_string(plan.kind) +
+               " key=" + std::to_string(plan.key));
+  const Inputs in = make_inputs(c);
+
+  static par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = kSlabs;
+  // Self-intersecting corpus shapes need the Vatti rectangle clipper.
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  const PolygonSet want = mt::slab_clip(in.a, in.b, c.op, pool, o);
+
+  par::fault::arm(plan);
+  mt::Alg2Stats stats;
+  PolygonSet got;
+  try {
+    got = mt::slab_clip(in.a, in.b, c.op, pool, o, &stats);
+  } catch (...) {
+    par::fault::disarm();
+    throw;
+  }
+  const std::uint64_t fired = par::fault::fired();
+  par::fault::disarm();
+
+  // Byte identity, fired or not: a fault that never fires trivially
+  // preserves the output, one that does must be absorbed at kRetrySafe.
+  EXPECT_EQ(canonical_vertices(got), canonical_vertices(want))
+      << "single-shot fault changed the output (fired=" << fired << ")";
+  EXPECT_LE(stats.worst_rung(), mt::Rung::kRetrySafe)
+      << "single-shot fault drove a slab below the safe-retry rung";
+  if (fired == 0) {
+    EXPECT_EQ(stats.degraded_slabs(), 0);
+  } else {
+    EXPECT_GE(stats.degraded_slabs(), 1)
+        << "a fault fired but no degradation was recorded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, FaultFuzz,
+                         ::testing::ValuesIn(fuzz::make_cases()));
+
+}  // namespace
+}  // namespace psclip

@@ -84,5 +84,64 @@ TEST(GeoJson, RejectsMalformed) {
                    .has_value());
 }
 
+// ---- Hostile-input hardening: positioned psclip::Error on rejection ----
+
+TEST(GeoJson, RejectsNonFiniteCoordinates) {
+  // JSON forbids inf/nan literals, but std::from_chars parses them — the
+  // parser is the trust boundary and must reject them itself.
+  const std::string doc =
+      R"({"type":"Polygon","coordinates":[[[0,0],[inf,0],[1,1],[0,1]]]})";
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_geojson(doc, &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kNonFinite);
+  EXPECT_EQ(err.offset(), doc.find("inf"));
+}
+
+TEST(GeoJson, RejectsOverflowingCoordinates) {
+  const std::string doc =
+      R"({"type":"Polygon","coordinates":[[[0,0],[1e999,0],[1,1],[0,1]]]})";
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_geojson(doc, &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kNonFinite);
+  EXPECT_NE(std::string(err.what()).find("overflow"), std::string::npos)
+      << err.what();
+  EXPECT_EQ(err.offset(), doc.find("1e999"));
+}
+
+TEST(GeoJson, RejectsTruncatedDocument) {
+  const std::string doc = R"({"type":"Polygon","coordinates":[[[0,0],[4,0)";
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_geojson(doc, &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_NE(err.offset(), Error::kNoOffset);
+  EXPECT_LE(err.offset(), doc.size());
+}
+
+TEST(GeoJson, RejectsTrailingGarbage) {
+  const std::string doc =
+      R"({"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4]]]} extra)";
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_geojson(doc, &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_EQ(err.offset(), doc.find("extra"));
+}
+
+TEST(GeoJson, RejectsMissingCoordinatesWithError) {
+  Error err(ErrorCode::kNonFinite, "");
+  ASSERT_FALSE(from_geojson(R"({"type":"Polygon"})", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_NE(std::string(err.what()).find("coordinates"), std::string::npos);
+}
+
+TEST(GeoJson, RejectsUnsupportedTypeWithError) {
+  Error err(ErrorCode::kNonFinite, "");
+  ASSERT_FALSE(
+      from_geojson(R"({"type":"Point","coordinates":[1,2]})", &err)
+          .has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_NE(std::string(err.what()).find("Point"), std::string::npos)
+      << err.what();
+}
+
 }  // namespace
 }  // namespace psclip::geom

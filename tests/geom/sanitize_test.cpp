@@ -1,0 +1,120 @@
+#include "geom/sanitize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "geom/polygon.hpp"
+
+namespace psclip::geom {
+namespace {
+
+using Kind = ValidationIssue::Kind;
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+TEST(Sanitize, CleanInputPassesThroughBitUnchanged) {
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}});
+  p.add({{2.0, 2.0}, {2.0, 4.0}, {4.0, 4.0}}, /*hole=*/true);
+
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  EXPECT_TRUE(issues.empty());
+  ASSERT_EQ(out.num_contours(), p.num_contours());
+  for (std::size_t i = 0; i < p.contours.size(); ++i) {
+    EXPECT_EQ(out.contours[i].hole, p.contours[i].hole);
+    ASSERT_EQ(out.contours[i].pts.size(), p.contours[i].pts.size());
+    for (std::size_t j = 0; j < p.contours[i].pts.size(); ++j) {
+      EXPECT_EQ(out.contours[i][j].x, p.contours[i][j].x);
+      EXPECT_EQ(out.contours[i][j].y, p.contours[i][j].y);
+    }
+  }
+}
+
+TEST(Sanitize, StripsNonFiniteVertices) {
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {kNan, 5.0}, {10.0, 0.0}, {10.0, kInf}, {10.0, 10.0},
+         {0.0, 10.0}});
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].pts.size(), 4u);
+  for (const auto& pt : out.contours[0].pts) {
+    EXPECT_TRUE(std::isfinite(pt.x));
+    EXPECT_TRUE(std::isfinite(pt.y));
+  }
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].kind, Kind::kNonFiniteVertex);
+  EXPECT_EQ(issues[0].vertex, 1u);
+  EXPECT_EQ(issues[1].kind, Kind::kNonFiniteVertex);
+  EXPECT_EQ(issues[1].vertex, 3u);
+}
+
+TEST(Sanitize, CollapsesConsecutiveDuplicates) {
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {10.0, 10.0},
+         {10.0, 10.0}, {0.0, 10.0}});
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].pts.size(), 4u);
+  EXPECT_EQ(issues.size(), 3u);
+  for (const auto& i : issues) EXPECT_EQ(i.kind, Kind::kDuplicateVertex);
+}
+
+TEST(Sanitize, DropsExplicitClosingVertex) {
+  // WKT-style explicitly closed ring: the trailing copy of the first vertex
+  // is the same defect as a consecutive duplicate and must go.
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}, {0.0, 0.0}});
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].pts.size(), 4u);
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].kind, Kind::kDuplicateVertex);
+  EXPECT_EQ(issues[0].detail, "duplicates the first vertex");
+}
+
+TEST(Sanitize, DropsContoursLeftWithTooFewVertices) {
+  PolygonSet p;
+  // Repair leaves 2 vertices -> dropped.
+  p.add({{0.0, 0.0}, {kNan, kNan}, {1.0, 1.0}});
+  // Healthy contour stays.
+  p.add({{20.0, 20.0}, {30.0, 20.0}, {25.0, 30.0}});
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0][0].x, 20.0);
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].kind, Kind::kNonFiniteVertex);
+  EXPECT_EQ(issues[1].kind, Kind::kTooFewVertices);
+  EXPECT_EQ(issues[1].contour, 0u);
+}
+
+TEST(Sanitize, LeavesSelfIntersectionsAlone) {
+  // Even-odd clipping handles self-intersecting input; sanitize must only
+  // repair what the clippers genuinely cannot digest.
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {10.0, 10.0}, {10.0, 0.0}, {0.0, 10.0}});  // bowtie
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  EXPECT_TRUE(issues.empty());
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].pts.size(), 4u);
+}
+
+TEST(Sanitize, IssuesPointerIsOptional) {
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {kNan, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}});
+  const PolygonSet out = sanitize(p);  // must not dereference null
+  ASSERT_EQ(out.num_contours(), 1u);
+  EXPECT_EQ(out.contours[0].pts.size(), 4u);
+}
+
+}  // namespace
+}  // namespace psclip::geom

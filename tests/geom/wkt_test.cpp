@@ -68,5 +68,70 @@ TEST(Wkt, RejectsMalformed) {
   EXPECT_FALSE(from_wkt("POLYGON ((a b, c d, e f))").has_value());
 }
 
+// ---- Hostile-input hardening: every rejection carries a psclip::Error ----
+// with the right taxonomy code and the byte offset of the first defect, so
+// a defective feed can be diagnosed without bisecting the input by hand.
+
+TEST(Wkt, RejectsNonFiniteCoordinates) {
+  // std::from_chars happily parses "inf" and "nan"; the parser must not.
+  for (const char* bad :
+       {"POLYGON ((0 0, inf 0, 1 1))", "POLYGON ((0 0, 1 nan, 1 1))",
+        "POLYGON ((-inf 0, 1 0, 1 1))", "POLYGON ((0 0, 1 0, NaN NaN))"}) {
+    Error err(ErrorCode::kParse, "");
+    EXPECT_FALSE(from_wkt(bad, &err).has_value()) << bad;
+  }
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_wkt("POLYGON ((0 0, inf 0, 1 1))", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kNonFinite);
+  EXPECT_EQ(err.offset(), 15u);  // points at the 'i' of "inf"
+}
+
+TEST(Wkt, RejectsOverflowingCoordinates) {
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_wkt("POLYGON ((0 0, 1e999 0, 1 1))", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kNonFinite);
+  EXPECT_NE(std::string(err.what()).find("overflow"), std::string::npos)
+      << err.what();
+  EXPECT_EQ(err.offset(), 15u);
+}
+
+TEST(Wkt, RejectsTruncationWithOffset) {
+  const std::string doc = "POLYGON ((0 0, 4 0, 4 4";
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_wkt(doc, &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_LE(err.offset(), doc.size());
+  EXPECT_NE(err.offset(), Error::kNoOffset);
+}
+
+TEST(Wkt, RejectsTrailingGarbage) {
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(
+      from_wkt("POLYGON ((0 0, 4 0, 4 4)) SELECT 1", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_EQ(err.offset(), 26u);  // first byte past the geometry
+}
+
+TEST(Wkt, RejectsUnknownTypeWithError) {
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_wkt("LINESTRING (0 0, 1 1)", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_EQ(err.offset(), 0u);
+  EXPECT_NE(std::string(err.what()).find("POLYGON"), std::string::npos);
+}
+
+TEST(Wkt, ShortRingReportsRingStart) {
+  Error err(ErrorCode::kParse, "");
+  ASSERT_FALSE(from_wkt("POLYGON ((0 0, 1 1))", &err).has_value());
+  EXPECT_EQ(err.code(), ErrorCode::kParse);
+  EXPECT_NE(std::string(err.what()).find("at least 3"), std::string::npos)
+      << err.what();
+}
+
+TEST(Wkt, ErrorOutParamIsOptional) {
+  // Source compatibility: the error pointer defaults to nullptr.
+  EXPECT_FALSE(from_wkt("POLYGON ((0 0, inf 0, 1 1))").has_value());
+}
+
 }  // namespace
 }  // namespace psclip::geom

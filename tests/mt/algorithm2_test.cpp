@@ -163,6 +163,16 @@ TEST(Algorithm2, StatsPhasesAndLoads) {
   EXPECT_GT(st.phases.total(), 0.0);
   EXPECT_GE(st.load_imbalance(), 1.0);
   EXPECT_GT(st.output_contours, 0);
+  // Fault isolation is on by default; a clean run records one healthy
+  // degradation report per slab and nothing else.
+  ASSERT_EQ(st.degradation.size(), st.slabs.size());
+  for (const auto& d : st.degradation) {
+    EXPECT_EQ(d.rung, Rung::kHealthy);
+    EXPECT_EQ(d.attempts, 1u);
+    EXPECT_TRUE(d.message.empty());
+  }
+  EXPECT_EQ(st.degraded_slabs(), 0);
+  EXPECT_EQ(st.worst_rung(), Rung::kHealthy);
 }
 
 TEST(Algorithm2, SingleSlabEqualsSequential) {

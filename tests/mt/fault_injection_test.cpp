@@ -1,0 +1,412 @@
+// Fault-injection matrix for the degradation ladder (requires a build with
+// -DPSCLIP_FAULT_INJECTION=ON; the tests are not registered otherwise).
+//
+// Each case arms one deterministic fault plan — a site (rect-clip, Vatti
+// sweep, arena borrow, task-group wrapper), a kind (throw, bad_alloc,
+// silent output corruption), a slab key, and a fire count — then runs
+// slab_clip / multiset_clip and asserts BOTH halves of the isolation
+// contract:
+//
+//   1. recovery: the output matches the unfaulted run — byte-identical
+//      when recovery happens on the kRetrySafe rung (which is broadcast
+//      repartition, guaranteed bit-equal to the healthy indexed path by
+//      the cross-engine fuzz harness), area-equal on the deeper rungs
+//      (alternate rectangle clipper / sequential fallbacks legitimately
+//      change the vertex representation);
+//   2. accounting: Alg2Stats::degradation records exactly the expected
+//      rung, attempt count, and cause taxonomy code for the faulted slab,
+//      and kHealthy everywhere else.
+//
+// Rung determinism: one fault firing aborts exactly one attempt, and every
+// ladder rung of slab_clip enters vatti_clip at least once, so a
+// kVattiSweep plan with fire_count=k lands the slab exactly k rungs down.
+// rect-clip sites are unreachable from the kSlabSequential rung onward,
+// and the arena is only borrowed on the healthy rung, which pins their
+// deepest reachable rungs — the matrix encodes that reachability.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.hpp"
+#include "geom/polygon.hpp"
+#include "mt/algorithm2.hpp"
+#include "mt/multiset.hpp"
+#include "mt/stats.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_support.hpp"
+
+namespace psclip {
+namespace {
+
+using geom::BoolOp;
+using geom::PolygonSet;
+using mt::Rung;
+using par::fault::Kind;
+using par::fault::Plan;
+using par::fault::Site;
+
+static_assert(par::fault::kEnabled,
+              "fault_injection_test requires PSCLIP_FAULT_INJECTION=ON");
+
+/// RAII disarm so a failing assertion cannot leak an armed plan into the
+/// next test.
+struct ArmedPlan {
+  explicit ArmedPlan(const Plan& p) { par::fault::arm(p); }
+  ~ArmedPlan() { par::fault::disarm(); }
+};
+
+void expect_identical(const PolygonSet& got, const PolygonSet& want,
+                      const std::string& what) {
+  ASSERT_EQ(got.num_contours(), want.num_contours()) << what;
+  for (std::size_t i = 0; i < got.contours.size(); ++i) {
+    ASSERT_EQ(got.contours[i].pts.size(), want.contours[i].pts.size())
+        << what << " contour " << i;
+    for (std::size_t j = 0; j < got.contours[i].pts.size(); ++j) {
+      EXPECT_EQ(got.contours[i][j].x, want.contours[i][j].x)
+          << what << " contour " << i << " vertex " << j;
+      EXPECT_EQ(got.contours[i][j].y, want.contours[i][j].y)
+          << what << " contour " << i << " vertex " << j;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// slab_clip matrix
+// ---------------------------------------------------------------------------
+
+struct SlabMatrixCase {
+  const char* name;
+  Site site;
+  Kind kind;
+  std::uint64_t fire_count;
+  Rung want_rung;      ///< rung of the faulted slab
+  ErrorCode want_cause;
+  bool byte_identical;  ///< deeper rungs are area-equal, not bit-equal
+};
+
+// The targeted slab. With slabs=4 on the blob pair every slab rect-clips
+// straddling contours, so every rung's fault site is actually reached.
+constexpr std::uint64_t kSlab = 1;
+
+const SlabMatrixCase kSlabMatrix[] = {
+    // One firing at each site -> first retry succeeds, byte-identical.
+    {"vatti-throw-1", Site::kVattiSweep, Kind::kThrow, 1, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    {"vatti-badalloc-1", Site::kVattiSweep, Kind::kBadAlloc, 1,
+     Rung::kRetrySafe, ErrorCode::kResource, true},
+    {"vatti-corrupt-1", Site::kVattiSweep, Kind::kCorrupt, 1, Rung::kRetrySafe,
+     ErrorCode::kNonFinite, true},
+    {"rect-throw-1", Site::kRectClip, Kind::kThrow, 1, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    {"rect-badalloc-1", Site::kRectClip, Kind::kBadAlloc, 1, Rung::kRetrySafe,
+     ErrorCode::kResource, true},
+    {"rect-corrupt-1", Site::kRectClip, Kind::kCorrupt, 1, Rung::kRetrySafe,
+     ErrorCode::kNonFinite, true},
+    {"arena-throw-1", Site::kArena, Kind::kThrow, 1, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    {"arena-corrupt-1", Site::kArena, Kind::kCorrupt, 1, Rung::kRetrySafe,
+     ErrorCode::kNonFinite, true},
+    // Repeated firings drive the ladder exactly one rung per firing.
+    {"vatti-throw-2", Site::kVattiSweep, Kind::kThrow, 2, Rung::kAltRectMethod,
+     ErrorCode::kInjected, false},
+    {"vatti-throw-3", Site::kVattiSweep, Kind::kThrow, 3,
+     Rung::kSlabSequential, ErrorCode::kInjected, false},
+    {"rect-throw-2", Site::kRectClip, Kind::kThrow, 2, Rung::kAltRectMethod,
+     ErrorCode::kInjected, false},
+    // kSlabSequential never calls rect_clip, so the plan goes quiet there
+    // no matter how many shots remain.
+    {"rect-throw-many", Site::kRectClip, Kind::kThrow, 100,
+     Rung::kSlabSequential, ErrorCode::kInjected, false},
+    // The arena is only borrowed on the healthy rung.
+    {"arena-throw-many", Site::kArena, Kind::kThrow, 100, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    // Every rung enters vatti_clip, so an unbounded keyed plan exhausts the
+    // per-slab ladder and forces the whole-input sequential fallback
+    // (which runs keyless, out of the plan's reach).
+    {"vatti-throw-whole-input", Site::kVattiSweep, Kind::kThrow, 100,
+     Rung::kWholeInput, ErrorCode::kInjected, false},
+};
+
+class SlabFaultMatrix : public ::testing::TestWithParam<SlabMatrixCase> {};
+
+TEST_P(SlabFaultMatrix, SingleSlabFaultIsIsolated) {
+  const SlabMatrixCase c = GetParam();
+  SCOPED_TRACE(c.name);
+  const auto pair = data::synthetic_pair(7, 48);
+  par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = 4;
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  mt::Alg2Stats base_stats;
+  const PolygonSet want =
+      mt::slab_clip(pair.subject, pair.clip, BoolOp::kIntersection, pool, o,
+                    &base_stats);
+  ASSERT_EQ(base_stats.degraded_slabs(), 0);
+  const std::size_t nslabs = base_stats.degradation.size();
+  ASSERT_GT(nslabs, kSlab);
+
+  Plan p;
+  p.site = c.site;
+  p.kind = c.kind;
+  p.key = kSlab;
+  p.fire_count = c.fire_count;
+  ArmedPlan armed(p);
+
+  mt::Alg2Stats stats;
+  const PolygonSet got =
+      mt::slab_clip(pair.subject, pair.clip, BoolOp::kIntersection, pool, o,
+                    &stats);
+  EXPECT_GT(par::fault::fired(), 0u) << "plan never fired";
+
+  // Accounting: the faulted slab reports exactly the expected rung and
+  // cause; under the whole-input fallback every slab reports kWholeInput.
+  ASSERT_EQ(stats.degradation.size(), nslabs);
+  const mt::DegradationReport& rep = stats.degradation[kSlab];
+  EXPECT_EQ(rep.rung, c.want_rung)
+      << "got rung " << mt::to_string(rep.rung) << ": " << rep.message;
+  EXPECT_EQ(rep.cause, c.want_cause) << rep.message;
+  EXPECT_FALSE(rep.message.empty());
+  if (c.want_rung != Rung::kWholeInput) {
+    // One attempt per rung walked: a slab recovering on rung r made r
+    // failed attempts plus the successful one.
+    EXPECT_EQ(rep.attempts, static_cast<std::uint32_t>(c.want_rung) + 1);
+    for (std::size_t t = 0; t < nslabs; ++t) {
+      if (t == kSlab) continue;
+      EXPECT_EQ(stats.degradation[t].rung, Rung::kHealthy)
+          << "fault leaked into slab " << t << ": "
+          << stats.degradation[t].message;
+    }
+  } else {
+    for (std::size_t t = 0; t < nslabs; ++t)
+      EXPECT_EQ(stats.degradation[t].rung, Rung::kWholeInput) << "slab " << t;
+  }
+  EXPECT_EQ(stats.worst_rung(), c.want_rung);
+
+  // Recovery: byte-identity on the safe-retry rung, area identity beyond.
+  if (c.byte_identical) {
+    expect_identical(got, want, c.name);
+  } else {
+    EXPECT_TRUE(test::areas_match(geom::signed_area(got),
+                                  geom::signed_area(want), 1e-6))
+        << "faulted=" << geom::signed_area(got)
+        << " unfaulted=" << geom::signed_area(want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SlabFaultMatrix,
+                         ::testing::ValuesIn(kSlabMatrix),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// A fault in the TaskGroup wrapper kills the slab task before its body
+// runs; the caller must recover the lost slab on the safe-retry rung with
+// byte-identical output. (Sibling slabs skipped by the group's
+// fail-fast flag are recovered the same way — also bit-identical.)
+TEST(SlabFaultInjection, TaskGroupFaultRecoversOnCaller) {
+  const auto pair = data::synthetic_pair(11, 48);
+  par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = 4;
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  const PolygonSet want =
+      mt::slab_clip(pair.subject, pair.clip, BoolOp::kUnion, pool, o);
+
+  Plan p;
+  p.site = Site::kTaskGroup;
+  p.kind = Kind::kThrow;
+  p.key = kSlab;  // TaskGroup keys by submission index == slab index
+  p.fire_count = 1;
+  ArmedPlan armed(p);
+
+  mt::Alg2Stats stats;
+  const PolygonSet got =
+      mt::slab_clip(pair.subject, pair.clip, BoolOp::kUnion, pool, o, &stats);
+  EXPECT_EQ(par::fault::fired(), 1u);
+
+  ASSERT_GT(stats.degradation.size(), kSlab);
+  EXPECT_EQ(stats.degradation[kSlab].rung, Rung::kRetrySafe)
+      << stats.degradation[kSlab].message;
+  EXPECT_EQ(stats.degradation[kSlab].cause, ErrorCode::kInjected);
+  // Slabs the group skipped after the failure also land on kRetrySafe;
+  // nothing may fall deeper than that.
+  for (const auto& rep : stats.degradation)
+    EXPECT_LE(rep.rung, Rung::kRetrySafe) << rep.message;
+
+  expect_identical(got, want, "task-group fault");
+}
+
+// Fail-fast mode: with isolation off, the injected fault must surface to
+// the caller unchanged instead of degrading.
+TEST(SlabFaultInjection, IsolationOffPropagatesFault) {
+  const auto pair = data::synthetic_pair(13, 40);
+  par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = 4;
+  o.rect_method = seq::RectClipMethod::kVatti;
+  o.isolate_faults = false;
+
+  Plan p;
+  p.site = Site::kVattiSweep;
+  p.kind = Kind::kThrow;
+  p.key = kSlab;
+  p.fire_count = 1;
+  ArmedPlan armed(p);
+
+  try {
+    mt::slab_clip(pair.subject, pair.clip, BoolOp::kIntersection, pool, o);
+    FAIL() << "fault must propagate when isolation is off";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInjected);
+  }
+}
+
+// Unkeyed unbounded plan: every slab fails on every rung AND the
+// whole-input fallback itself faults — nothing can produce output, so the
+// error must propagate rather than return garbage.
+TEST(SlabFaultInjection, UnboundedAnyKeyFaultPropagates) {
+  const auto pair = data::synthetic_pair(17, 40);
+  par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = 4;
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  Plan p;
+  p.site = Site::kVattiSweep;
+  p.kind = Kind::kThrow;
+  p.key = par::fault::kAnyKey;
+  p.fire_count = ~std::uint64_t{0};
+  ArmedPlan armed(p);
+
+  EXPECT_THROW(
+      mt::slab_clip(pair.subject, pair.clip, BoolOp::kIntersection, pool, o),
+      Error);
+}
+
+// ---------------------------------------------------------------------------
+// multiset_clip matrix
+// ---------------------------------------------------------------------------
+
+struct MultisetMatrixCase {
+  const char* name;
+  Site site;
+  Kind kind;
+  std::uint64_t fire_count;
+  Rung want_rung;
+  ErrorCode want_cause;
+  bool byte_identical;
+};
+
+const MultisetMatrixCase kMultisetMatrix[] = {
+    {"vatti-throw-1", Site::kVattiSweep, Kind::kThrow, 1, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    {"vatti-badalloc-1", Site::kVattiSweep, Kind::kBadAlloc, 1,
+     Rung::kRetrySafe, ErrorCode::kResource, true},
+    {"vatti-corrupt-1", Site::kVattiSweep, Kind::kCorrupt, 1, Rung::kRetrySafe,
+     ErrorCode::kNonFinite, true},
+    {"arena-throw-1", Site::kArena, Kind::kThrow, 1, Rung::kRetrySafe,
+     ErrorCode::kInjected, true},
+    {"arena-corrupt-1", Site::kArena, Kind::kCorrupt, 1, Rung::kRetrySafe,
+     ErrorCode::kNonFinite, true},
+    // The multiset ladder has two per-slab rungs; an unbounded keyed plan
+    // forces the keyless whole-input fallback.
+    {"vatti-throw-whole-input", Site::kVattiSweep, Kind::kThrow, 100,
+     Rung::kWholeInput, ErrorCode::kInjected, false},
+};
+
+class MultisetFaultMatrix
+    : public ::testing::TestWithParam<MultisetMatrixCase> {};
+
+TEST_P(MultisetFaultMatrix, SingleSlabFaultIsIsolated) {
+  const MultisetMatrixCase c = GetParam();
+  SCOPED_TRACE(c.name);
+  const PolygonSet a = data::polygon_field(501, 24, 100.0, 8);
+  const PolygonSet b = data::polygon_field(502, 24, 100.0, 7);
+  par::ThreadPool pool(4);
+  mt::MultisetOptions o;
+  o.slabs = 4;
+
+  par::fault::disarm();
+  mt::Alg2Stats base_stats;
+  const PolygonSet want = mt::multiset_clip(a, b, BoolOp::kIntersection, pool,
+                                            o, &base_stats);
+  ASSERT_EQ(base_stats.degraded_slabs(), 0);
+  const std::size_t nslabs = base_stats.degradation.size();
+  ASSERT_GT(nslabs, kSlab);
+
+  Plan p;
+  p.site = c.site;
+  p.kind = c.kind;
+  p.key = kSlab;
+  p.fire_count = c.fire_count;
+  ArmedPlan armed(p);
+
+  mt::Alg2Stats stats;
+  const PolygonSet got =
+      mt::multiset_clip(a, b, BoolOp::kIntersection, pool, o, &stats);
+  EXPECT_GT(par::fault::fired(), 0u) << "plan never fired";
+
+  ASSERT_EQ(stats.degradation.size(), nslabs);
+  const mt::DegradationReport& rep = stats.degradation[kSlab];
+  EXPECT_EQ(rep.rung, c.want_rung)
+      << "got rung " << mt::to_string(rep.rung) << ": " << rep.message;
+  EXPECT_EQ(rep.cause, c.want_cause) << rep.message;
+  if (c.want_rung != Rung::kWholeInput) {
+    EXPECT_EQ(rep.attempts, static_cast<std::uint32_t>(c.want_rung) + 1);
+    for (std::size_t t = 0; t < nslabs; ++t) {
+      if (t == kSlab) continue;
+      EXPECT_EQ(stats.degradation[t].rung, Rung::kHealthy)
+          << "fault leaked into slab " << t;
+    }
+  }
+
+  if (c.byte_identical) {
+    expect_identical(got, want, c.name);
+  } else {
+    EXPECT_TRUE(test::areas_match(geom::signed_area(got),
+                                  geom::signed_area(want), 1e-6))
+        << "faulted=" << geom::signed_area(got)
+        << " unfaulted=" << geom::signed_area(want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, MultisetFaultMatrix,
+                         ::testing::ValuesIn(kMultisetMatrix),
+                         [](const auto& info) {
+                           std::string n = info.param.name;
+                           for (auto& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+TEST(MultisetFaultInjection, IsolationOffPropagatesFault) {
+  const PolygonSet a = data::polygon_field(511, 20, 90.0, 8);
+  const PolygonSet b = data::polygon_field(512, 20, 90.0, 7);
+  par::ThreadPool pool(4);
+  mt::MultisetOptions o;
+  o.slabs = 4;
+  o.isolate_faults = false;
+
+  Plan p;
+  p.site = Site::kVattiSweep;
+  p.kind = Kind::kThrow;
+  p.key = kSlab;
+  p.fire_count = 1;
+  ArmedPlan armed(p);
+
+  EXPECT_THROW(mt::multiset_clip(a, b, BoolOp::kIntersection, pool, o), Error);
+}
+
+}  // namespace
+}  // namespace psclip

@@ -5,7 +5,10 @@
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 #include <vector>
+
+#include "error.hpp"
 
 namespace psclip::par {
 namespace {
@@ -62,6 +65,53 @@ TEST(ThreadPool, ExceptionsPropagateToCaller) {
                           if (i == 437) throw std::runtime_error("boom");
                         }),
       std::runtime_error);
+}
+
+TEST(ThreadPool, ParallelForSingleFailureRethrownUnchanged) {
+  ThreadPool pool(4);
+  // Exactly one index throws: the original exception must come back as-is,
+  // not wrapped in the aggregation error.
+  try {
+    pool.parallel_for(
+        1000,
+        [&](std::size_t i) {
+          if (i == 437) throw std::runtime_error("boom 437");
+        },
+        /*grain=*/64);
+    FAIL() << "parallel_for must rethrow";
+  } catch (const Error&) {
+    FAIL() << "single failure must not be wrapped";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "boom 437");
+  }
+}
+
+TEST(ThreadPool, ParallelForAggregatesConcurrentFailures) {
+  ThreadPool pool(4);
+  // Every index throws, tiny grain: with 4 drivers racing over 1000
+  // chunks, more than one driver fails essentially always. The contract:
+  // N>1 concurrent failures fold into one psclip::Error(kTaskFailure)
+  // carrying the count and the first message; a single failure comes back
+  // unchanged (legal here, just unlikely).
+  std::atomic<int> threw{0};
+  try {
+    pool.parallel_for(
+        1000,
+        [&](std::size_t i) {
+          threw.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("item " + std::to_string(i));
+        },
+        /*grain=*/1);
+    FAIL() << "parallel_for must rethrow";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTaskFailure);
+    EXPECT_NE(std::string(e.what()).find("tasks failed; first: item "),
+              std::string::npos)
+        << e.what();
+    EXPECT_GE(threw.load(), 2);
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(threw.load(), 1) << e.what();
+  }
 }
 
 TEST(ThreadPool, SubmitAndWaitIdle) {

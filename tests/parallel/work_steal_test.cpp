@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "error.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace psclip::par {
@@ -81,7 +82,7 @@ TEST(WorkSteal, SingleProducerQueueGetsStolenFrom) {
   EXPECT_GE(stolen, steals);  // steal-half takes >= 1 task per operation
 }
 
-TEST(WorkSteal, ExceptionsPropagateFirstOneWins) {
+TEST(WorkSteal, ExceptionsAggregateNeverDropped) {
   ThreadPool pool(4);
   TaskGroup group(pool);
   std::atomic<int> ran{0};
@@ -90,15 +91,60 @@ TEST(WorkSteal, ExceptionsPropagateFirstOneWins) {
       ran.fetch_add(1, std::memory_order_relaxed);
       throw std::runtime_error("task " + std::to_string(i));
     });
+  // Contract: exactly one task threw -> its exception is rethrown
+  // unchanged; several threw concurrently -> one psclip::Error(kTaskFailure)
+  // carrying the count and the first message. Either way nothing is
+  // silently dropped.
   try {
     group.wait();
     FAIL() << "wait() must rethrow";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTaskFailure);
+    EXPECT_NE(std::string(e.what()).find("tasks failed; first: task "),
+              std::string::npos)
+        << e.what();
   } catch (const std::runtime_error& e) {
     EXPECT_EQ(std::string(e.what()).rfind("task ", 0), 0u) << e.what();
   }
   // After the first failure the remaining bodies are skipped, never run.
   EXPECT_GE(ran.load(), 1);
   EXPECT_LE(ran.load(), 64);
+}
+
+TEST(WorkSteal, ConcurrentFailuresFoldIntoOneError) {
+  ThreadPool pool(4);
+  TaskGroup group(pool);
+  // Rendezvous: each task waits (with a deadline, in case two tasks land
+  // on one worker) until all four entered, then throws — so several
+  // failures are recorded before any skip flag can help.
+  std::atomic<int> arrived{0};
+  std::atomic<int> threw{0};
+  for (int i = 0; i < 4; ++i)
+    group.run([&arrived, &threw, i] {
+      arrived.fetch_add(1, std::memory_order_acq_rel);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (arrived.load(std::memory_order_acquire) < 4 &&
+             std::chrono::steady_clock::now() < deadline)
+        std::this_thread::yield();
+      threw.fetch_add(1, std::memory_order_acq_rel);
+      throw std::runtime_error("boom " + std::to_string(i));
+    });
+  try {
+    group.wait();
+    FAIL() << "wait() must rethrow";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kTaskFailure);
+    EXPECT_NE(std::string(e.what()).find(
+                  std::to_string(threw.load()) + " tasks failed"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("boom "), std::string::npos)
+        << e.what();
+  } catch (const std::runtime_error& e) {
+    // Legal only if the rendezvous timed out and one task threw alone.
+    EXPECT_EQ(threw.load(), 1) << e.what();
+  }
 }
 
 TEST(WorkSteal, GroupIsReusableAfterExceptionAndAfterWait) {
