@@ -126,6 +126,14 @@ int main(int argc, char** argv) {
     report.cell("touched_ratio", ratio);
     report.cell("indexed_ms", t_idx * 1e3);
     report.cell("broadcast_ms", t_bcast * 1e3);
+    // Phase breakdown of each path (from the instrumented Alg2Stats of the
+    // last of the three timed runs).
+    report.cell("indexed_partition_ms", si.phases.partition * 1e3);
+    report.cell("indexed_clip_ms", si.phases.clip * 1e3);
+    report.cell("indexed_merge_ms", si.phases.merge * 1e3);
+    report.cell("broadcast_partition_ms", sb.phases.partition * 1e3);
+    report.cell("broadcast_clip_ms", sb.phases.clip * 1e3);
+    report.cell("broadcast_merge_ms", sb.phases.merge * 1e3);
 
     if (!identical(ri, rb)) {
       std::fprintf(stderr,

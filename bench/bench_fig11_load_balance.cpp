@@ -83,8 +83,12 @@ void print_workers(const char* label, const mt::Alg2Stats& st) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   const double scale = bench::dataset_scale();
+  const char* json = bench::json_path(argc, argv);
+  bench::JsonReport report;
+  report.field("figure", std::string("fig11_load_balance"));
+  report.field("dataset_scale", scale);
   bench::header("Fig. 11 — per-slab load for Intersect(1,2)",
                 "paper Fig. 11");
 
@@ -110,7 +114,23 @@ int main() {
                   static_cast<long long>(s.input_edges),
                   static_cast<long long>(s.output_vertices));
       total += s.seconds;
+      report.row("slabs");
+      report.cell("slab", static_cast<long long>(i));
+      report.cell("clip_ms", s.seconds * 1e3);
+      report.cell("input_edges", static_cast<long long>(s.input_edges));
+      report.cell("output_vertices",
+                  static_cast<long long>(s.output_vertices));
     }
+    report.field("slab_imbalance", st.load_imbalance());
+    report.row("phases");
+    report.cell("name", std::string("partition"));
+    report.cell("seconds", st.phases.partition);
+    report.row("phases");
+    report.cell("name", std::string("clip"));
+    report.cell("seconds", st.phases.clip);
+    report.row("phases");
+    report.cell("name", std::string("merge"));
+    report.cell("seconds", st.phases.merge);
     std::printf("\nload imbalance (max/mean): %.2f — 1.0 would be perfectly "
                 "balanced; the paper attributes Intersect(1,2)'s limited "
                 "3.4x speedup to exactly this skew.\n",
@@ -147,6 +167,27 @@ int main() {
   print_workers("adaptive over-partitioning: oversubscribe = 4 (16 slabs)",
                 st_oversub);
 
+  const auto worker_rows = [&report](const char* array,
+                                     const mt::Alg2Stats& st) {
+    for (std::size_t i = 0; i < st.workers.size(); ++i) {
+      const auto& w = st.workers[i];
+      report.row(array);
+      report.cell("worker", i + 1 == st.workers.size()
+                                ? std::string("caller")
+                                : std::to_string(i));
+      report.cell("slab_jobs", static_cast<long long>(w.slab_jobs));
+      report.cell("busy_ms", w.busy_seconds * 1e3);
+      report.cell("steals", static_cast<long long>(w.steals));
+      report.cell("tasks_stolen", static_cast<long long>(w.tasks_stolen));
+      report.cell("idle_ms", w.idle_seconds * 1e3);
+    }
+  };
+  worker_rows("workers_static", st_static);
+  worker_rows("workers_oversubscribed", st_oversub);
+  report.field("worker_imbalance_static", st_static.worker_imbalance());
+  report.field("worker_imbalance_oversubscribed",
+               st_oversub.worker_imbalance());
+
   std::printf("\nworker imbalance %0.2f -> %0.2f with oversubscribe=4 "
               "(lower is better; the per-slab skew itself is unchanged,\n"
               "idle workers now steal queued slab jobs instead of waiting "
@@ -160,7 +201,10 @@ int main() {
   // concurrency, no steals — stealing is the only variable left.
   const geom::PolygonSet ref = run(serial, /*fixed_slabs=*/p * 4,
                                    /*oversubscribe=*/1, nullptr);
+  const bool identical = bit_identical(out, ref);
   std::printf("bit-identical across schedules: %s\n",
-              bit_identical(out, ref) ? "yes" : "NO — BUG");
-  return bit_identical(out, ref) ? 0 : 1;
+              identical ? "yes" : "NO — BUG");
+  report.field("bit_identical", static_cast<long long>(identical));
+  if (json) report.write_file(json);
+  return identical ? 0 : 1;
 }

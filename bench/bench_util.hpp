@@ -27,10 +27,16 @@ inline const char* json_path(int argc, char** argv) {
   return nullptr;
 }
 
+/// Version stamp every bench report carries (as "schema_version") so
+/// downstream tooling can detect layout changes. Bump when a key is
+/// renamed/removed or its meaning changes; adding keys is compatible.
+inline constexpr long long kReportSchemaVersion = 1;
+
 /// Append-only JSON object writer for bench results — scalar fields plus
 /// named arrays of flat row objects, enough for "one table = one array"
 /// reports without a JSON dependency. Keys/strings must not need escaping
-/// (bench code controls both).
+/// (bench code controls both). write_file() prepends "schema_version"
+/// (kReportSchemaVersion) unless the caller already set one.
 class JsonReport {
  public:
   void field(const std::string& key, double v) { fields_.emplace_back(key, num(v)); }
@@ -62,6 +68,13 @@ class JsonReport {
     }
     std::fprintf(f, "{\n");
     bool first = true;
+    bool have_version = false;
+    for (const auto& [k, v] : fields_)
+      if (k == "schema_version") have_version = true;
+    if (!have_version) {
+      std::fprintf(f, "  \"schema_version\": %lld", kReportSchemaVersion);
+      first = false;
+    }
     for (const auto& [k, v] : fields_) {
       std::fprintf(f, "%s  \"%s\": %s", first ? "" : ",\n", k.c_str(), v.c_str());
       first = false;

@@ -1,7 +1,7 @@
 // psclip_cli — clip two polygon files from the command line.
 //
 //   psclip_cli <op> <subject-file> <clip-file> [--engine=E] [--out=FMT]
-//              [--sanitize]
+//              [--sanitize] [--trace-out=FILE] [--metrics]
 //
 //   op        : intersection | union | difference | xor
 //   files     : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
@@ -12,6 +12,10 @@
 //               collapse consecutive duplicates, drop degenerate contours);
 //               each repair is reported on stderr. Without it, defective
 //               but parseable inputs are clipped as-is.
+//   --trace-out=FILE: record the run (parse, request, phase, per-slab and
+//               degradation-rung spans) and write a Chrome trace_event JSON
+//               file — open it at chrome://tracing or https://ui.perfetto.dev.
+//   --metrics : print the counter/histogram snapshot (text) to stderr.
 //
 // Malformed input files are rejected with the byte offset of the first
 // problem (the parsers never hand the clippers NaN/Inf coordinates).
@@ -89,7 +93,8 @@ int usage() {
   std::fprintf(stderr,
                "usage: psclip_cli <intersection|union|difference|xor> "
                "<subject-file> <clip-file> [--engine=auto|vatti|martinez|"
-               "scanbeam|slab] [--out=wkt|geojson|area] [--sanitize]\n");
+               "scanbeam|slab] [--out=wkt|geojson|area] [--sanitize] "
+               "[--trace-out=FILE] [--metrics]\n");
   return 2;
 }
 
@@ -103,7 +108,9 @@ int main(int argc, char** argv) {
 
   psclip::Engine engine = psclip::Engine::kAuto;
   std::string out_fmt = "wkt";
+  std::string trace_path;
   bool sanitize = false;
+  bool metrics = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
@@ -114,10 +121,22 @@ int main(int argc, char** argv) {
       out_fmt = arg.substr(6);
     } else if (arg == "--sanitize") {
       sanitize = true;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = arg.substr(12);
+      if (trace_path.empty()) return usage();
+    } else if (arg == "--metrics") {
+      metrics = true;
     } else {
       return usage();
     }
   }
+
+  // Install the recorder before parsing so the parse spans are captured
+  // too. The CLI is single-request: main exits right after the export, so
+  // the recorder outliving the global registration is enough.
+  psclip::obs::TraceRecorder recorder;
+  if (!trace_path.empty() || metrics)
+    psclip::obs::set_global_sink(&recorder);
 
   const auto subject = load(argv[2], sanitize);
   const auto clip_poly = load(argv[3], sanitize);
@@ -126,6 +145,7 @@ int main(int argc, char** argv) {
   const psclip::geom::PolygonSet result =
       psclip::clip(*subject, *clip_poly, *op, engine);
 
+  int rc = 0;
   if (out_fmt == "wkt") {
     std::printf("%s\n", psclip::geom::to_wkt(result).c_str());
   } else if (out_fmt == "geojson") {
@@ -133,7 +153,23 @@ int main(int argc, char** argv) {
   } else if (out_fmt == "area") {
     std::printf("%.17g\n", psclip::geom::signed_area(result));
   } else {
-    return usage();
+    rc = usage();
   }
-  return 0;
+
+  // Quiesce before exporting: exporting walks the per-thread buffers.
+  psclip::obs::set_global_sink(nullptr);
+  psclip::par::default_pool().wait_idle();
+  if (!trace_path.empty()) {
+    if (!recorder.write_chrome_trace(trace_path)) {
+      std::fprintf(stderr, "psclip: cannot write trace to %s\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "psclip: trace written to %s (open in "
+                         "chrome://tracing)\n",
+                 trace_path.c_str());
+  }
+  if (metrics)
+    std::fputs(recorder.metrics().snapshot().to_text().c_str(), stderr);
+  return rc;
 }

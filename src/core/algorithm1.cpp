@@ -5,6 +5,7 @@
 #include "core/beam_sweep.hpp"
 #include "core/scanbeam.hpp"
 #include "geom/perturb.hpp"
+#include "obs/trace.hpp"
 #include "parallel/timing.hpp"
 
 namespace psclip::core {
@@ -13,12 +14,16 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
                                const geom::PolygonSet& clip, geom::BoolOp op,
                                par::ThreadPool& pool, Alg1Stats* stats,
                                const Alg1Options& opts) {
+  obs::TraceSink* const sink = opts.trace_sink;
+  obs::ScopedSpan req_span(sink, "alg1.scanbeam_clip", obs::Cat::kRequest);
+  par::WallTimer req_timer;
   geom::PolygonSet s = geom::cleaned(subject);
   geom::PolygonSet c = geom::cleaned(clip);
   geom::remove_horizontals(s);
   geom::remove_horizontals(c);
   const seq::BoundTable bt = seq::build_bounds(s, c);
 
+  obs::ScopedSpan part_span(sink, "alg1.partition", obs::Cat::kPhase);
   par::WallTimer timer;
   const ScanbeamPartition part = opts.use_segment_tree
                                      ? partition_scanbeams(pool, bt)
@@ -27,6 +32,11 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
 
   const std::size_t m = part.num_beams();
   timer.reset();
+  part_span.arg("edges", static_cast<std::int64_t>(bt.num_edges()));
+  part_span.arg("scanbeams", static_cast<std::int64_t>(m));
+  part_span.arg("k_prime", part.k_prime(bt.num_edges()));
+  part_span.end();
+  obs::ScopedSpan beams_span(sink, "alg1.beams", obs::Cat::kPhase);
 
   // Step 3: all scanbeams in parallel. Results land in per-beam slots, so
   // no cross-beam synchronization is needed beyond the final collection.
@@ -42,8 +52,10 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
       },
       /*grain=*/1);
   const double t_beams = timer.seconds();
+  beams_span.end();
 
   timer.reset();
+  obs::ScopedSpan merge_span(sink, "alg1.merge", obs::Cat::kPhase);
   WeldArena arena;
   std::int64_t k = 0, partials = 0;
   for (const auto& br : beams) {
@@ -58,6 +70,19 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
     arena.weld_flat(pool, part.ys);
   geom::PolygonSet out = arena.extract();
   const double t_merge = timer.seconds();
+  merge_span.arg("partial_polys", partials);
+  merge_span.arg("merge_phases", phases);
+  merge_span.end();
+
+  if (sink) {
+    req_span.arg("edges", static_cast<std::int64_t>(bt.num_edges()));
+    req_span.arg("intersections", k);
+    req_span.arg("op", static_cast<std::int64_t>(op));
+    sink->add_counter("alg1.requests", 1);
+    sink->add_counter("alg1.scanbeams", static_cast<std::int64_t>(m));
+    sink->add_counter("alg1.intersections", k);
+    sink->observe("alg1.request_seconds", req_timer.seconds());
+  }
 
   if (stats) {
     stats->edges = static_cast<std::int64_t>(bt.num_edges());

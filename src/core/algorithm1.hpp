@@ -7,6 +7,10 @@
 #include "geom/polygon.hpp"
 #include "parallel/thread_pool.hpp"
 
+namespace psclip::obs {
+class TraceSink;
+}
+
 namespace psclip::core {
 
 /// Instrumentation for the paper's complexity quantities and per-stage
@@ -29,6 +33,11 @@ struct Alg1Options {
   /// Use the segment tree for Step 2 (paper §III-E); false = direct
   /// binning (ablation).
   bool use_segment_tree = true;
+  /// Trace + metrics sink for this run; null (default) = tracing off at the
+  /// cost of one pointer test per site. Same contract as
+  /// Alg2Options::trace_sink. Records an alg1 request span with
+  /// partition/beams/merge phase children plus alg1.* counters.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// The paper's Algorithm 1: output-sensitive multi-way divide-and-conquer

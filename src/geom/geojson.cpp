@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "geom/nesting.hpp"
+#include "obs/trace.hpp"
 
 namespace psclip::geom {
 namespace {
@@ -208,6 +209,9 @@ std::string to_geojson(const PolygonSet& p) {
 }
 
 std::optional<PolygonSet> from_geojson(std::string_view json, Error* err) {
+  obs::ScopedSpan parse_span(obs::global_sink(), "parse.geojson",
+                             obs::Cat::kParse);
+  parse_span.arg("bytes", static_cast<std::int64_t>(json.size()));
   Cursor c{json};
   if (!c.eat('{')) return report(c, err);
   std::string type;

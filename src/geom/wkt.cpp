@@ -6,6 +6,8 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace psclip::geom {
 
 std::string to_wkt(const PolygonSet& p) {
@@ -160,6 +162,9 @@ std::optional<PolygonSet> finish(Cursor& c, PolygonSet out, Error* err) {
 }  // namespace
 
 std::optional<PolygonSet> from_wkt(std::string_view wkt, Error* err) {
+  obs::ScopedSpan parse_span(obs::global_sink(), "parse.wkt",
+                             obs::Cat::kParse);
+  parse_span.arg("bytes", static_cast<std::int64_t>(wkt.size()));
   Cursor c{wkt};
   PolygonSet out;
   if (match_keyword(c, "MULTIPOLYGON")) {

@@ -10,6 +10,7 @@
 #include "error.hpp"
 #include "mt/arena.hpp"
 #include "mt/slab_index.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
@@ -69,6 +70,10 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   const unsigned p =
       opts.slabs ? opts.slabs
                  : pool.size() * std::max(1u, opts.oversubscribe);
+  obs::TraceSink* const sink = opts.trace_sink;
+  obs::ScopedSpan req_span(sink, "alg2.slab_clip", obs::Cat::kRequest);
+  par::WallTimer req_timer;
+  obs::ScopedSpan setup_span(sink, "alg2.setup", obs::Cat::kPhase);
   par::WallTimer phase_timer;
 
   // Steps 1-3: event ordinates, sorted, and the joint MBR.
@@ -126,6 +131,11 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   std::vector<SlabOut> outs(nslabs);
   const double t_setup = phase_timer.seconds();
   phase_timer.reset();
+  setup_span.end();
+  req_span.arg("slabs", static_cast<std::int64_t>(nslabs));
+  req_span.arg("vertices", static_cast<std::int64_t>(
+                               subject.num_vertices() + clip.num_vertices()));
+  req_span.arg("op", static_cast<std::int64_t>(op));
 
   // Rectangle clipper for the kAltRectMethod rung: whichever of the two
   // full clippers the run was *not* configured with.
@@ -141,6 +151,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     so.result = geom::PolygonSet{};
     so.load = SlabLoad{};
     so.partition_seconds = 0.0;
+    obs::ScopedSpan part_span(sink, "alg2.slab_partition", obs::Cat::kPhase);
     par::WallTimer timer;
     const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
                           bounds[t + 1]};
@@ -201,12 +212,15 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       b_t = seq::vatti_clip(clip, rp, geom::BoolOp::kIntersection);
     }
     so.partition_seconds = timer.seconds();
+    part_span.arg("touched_edges", so.load.touched_edges);
+    part_span.end();
     // Never hand a corrupted partition to the sweep: a NaN vertex can wedge
     // the event queue, not just skew the output.
     if (!geom::is_finite(a_t) || !geom::is_finite(b_t))
       throw Error(ErrorCode::kNonFinite,
                   "non-finite vertex in slab " + std::to_string(t) +
                       " partition output");
+    obs::ScopedSpan sweep_span(sink, "alg2.slab_sweep", obs::Cat::kPhase);
     timer.reset();
     seq::VattiStats vs;
     so.result = seq::vatti_clip(a_t, b_t, op, &vs, scratch);
@@ -218,6 +232,10 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     so.load.seconds = timer.seconds();
     so.load.input_edges = vs.edges;
     so.load.output_vertices = vs.output_vertices;
+    sweep_span.arg("input_edges", vs.edges);
+    sweep_span.arg("output_vertices", vs.output_vertices);
+    sweep_span.end();
+    if (sink) sink->observe("alg2.slab_clip_seconds", so.load.seconds);
     if (!geom::is_finite(so.result))
       throw Error(ErrorCode::kNonFinite,
                   "non-finite vertex in slab " + std::to_string(t) +
@@ -236,11 +254,16 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     for (const Rung rung : kLadder) {
       if (rung < first) continue;
       ++so.report.attempts;
+      // One kRung span per ladder attempt, named after the rung; nests
+      // under the enclosing slab span (same thread, implicit parent).
+      obs::ScopedSpan rung_span(sink, to_string(rung), obs::Cat::kRung);
+      rung_span.arg("rung", static_cast<std::int64_t>(rung));
       try {
         attempt_slab(t, so, rung);
         so.report.rung = rung;
         return;
       } catch (...) {
+        rung_span.arg("failed", 1);
         if (!recorded) {
           classify_failure(so.report);
           recorded = true;
@@ -258,11 +281,20 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   // before scheduling and outs[] is indexed by slab, so the result is
   // byte-identical regardless of which worker runs which slab.
   const std::vector<par::StealStats> steal_before = pool.steal_stats();
+  obs::ScopedSpan clip_span(sink, "alg2.clip", obs::Cat::kPhase);
+  const obs::SpanId clip_id = clip_span.id();
   par::TaskGroup group(pool);
   for (std::size_t t = 0; t < nslabs; ++t) {
     group.run([&, t] {
       SlabOut& so = outs[t];
       so.worker = pool.current_worker();
+      // The slab span parents to the clip-phase span *explicitly*: the
+      // phase span lives on the calling thread while slab tasks run on
+      // whichever worker steals them, so implicit (same-thread) nesting
+      // cannot link them.
+      obs::ScopedSpan slab_span(sink, "alg2.slab", obs::Cat::kSlab, clip_id);
+      slab_span.arg("slab", static_cast<std::int64_t>(t));
+      slab_span.arg("worker", so.worker);
       // Deterministic fault key: a plan keyed on slab index t fires for
       // this slab no matter which worker the scheduler hands it to.
       par::fault::ScopedKey key(t);
@@ -273,6 +305,9 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
         attempt_slab(t, so, Rung::kHealthy);
         so.done = true;
       }
+      slab_span.arg("rung", static_cast<std::int64_t>(so.report.rung));
+      slab_span.arg("attempts",
+                    static_cast<std::int64_t>(so.report.attempts));
     });
   }
   bool any_exhausted = false;
@@ -297,8 +332,15 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
         if (so.done) continue;
         so.report = group_rep;
         so.report.attempts = 1;  // the task attempt the group aborted
+        obs::ScopedSpan slab_span(sink, "alg2.slab", obs::Cat::kSlab,
+                                  clip_id);
+        slab_span.arg("slab", static_cast<std::int64_t>(t));
+        slab_span.arg("worker", -1);  // recovered on the calling thread
         par::fault::ScopedKey key(t);
         run_ladder(t, so, Rung::kRetrySafe);
+        slab_span.arg("rung", static_cast<std::int64_t>(so.report.rung));
+        slab_span.arg("attempts",
+                      static_cast<std::int64_t>(so.report.attempts));
       }
     }
     for (const SlabOut& so : outs)
@@ -308,6 +350,9 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       // request sequentially. Runs keyless so slab-keyed fault plans cannot
       // follow the computation here; a fault that still fires (kAnyKey plan
       // with shots left) means nothing can produce output, and propagates.
+      obs::ScopedSpan whole_span(sink, to_string(Rung::kWholeInput),
+                                 obs::Cat::kRung);
+      whole_span.arg("rung", static_cast<std::int64_t>(Rung::kWholeInput));
       par::fault::ScopedKey key(par::fault::kNoKey);
       geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
       for (SlabOut& so : outs) {
@@ -321,11 +366,43 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   const double t_par = phase_timer.seconds();
   phase_timer.reset();
 
+  // Steal totals attributed to this run (pool-counter deltas).
+  std::vector<par::StealStats> steal_after;
+  if (stats || sink) steal_after = pool.steal_stats();
+  if (sink) {
+    std::int64_t steals = 0, stolen = 0;
+    for (unsigned i = 0; i < pool.size(); ++i) {
+      steals += static_cast<std::int64_t>(steal_after[i].steals -
+                                          steal_before[i].steals);
+      stolen += static_cast<std::int64_t>(steal_after[i].tasks_stolen -
+                                          steal_before[i].tasks_stolen);
+    }
+    clip_span.arg("steals", steals);
+    clip_span.arg("tasks_stolen", stolen);
+    sink->add_counter("alg2.steals", steals);
+  }
+  clip_span.end();
+
   // Step 8 (sequential in the paper): concatenate the per-slab outputs.
+  obs::ScopedSpan merge_span(sink, "alg2.merge", obs::Cat::kPhase);
   geom::PolygonSet out;
   for (auto& so : outs)
     for (auto& c : so.result.contours) out.contours.push_back(std::move(c));
   const double t_merge = phase_timer.seconds();
+  merge_span.arg("output_contours",
+                 static_cast<std::int64_t>(out.num_contours()));
+  merge_span.end();
+
+  if (sink) {
+    std::int64_t degraded = 0;
+    for (const SlabOut& so : outs)
+      if (so.report.rung != Rung::kHealthy) ++degraded;
+    req_span.arg("degraded_slabs", degraded);
+    sink->add_counter("alg2.requests", 1);
+    sink->add_counter("alg2.slabs", static_cast<std::int64_t>(nslabs));
+    sink->add_counter("alg2.degraded_slabs", degraded);
+    sink->observe("alg2.request_seconds", req_timer.seconds());
+  }
 
   if (stats) {
     double partition_in_slabs = 0.0;
@@ -340,7 +417,6 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     // the last slot is the calling thread (which helps while waiting).
     // Steal/idle numbers are pool-counter deltas, attributable to this run
     // only when the pool is not shared with concurrent work.
-    const std::vector<par::StealStats> steal_after = pool.steal_stats();
     stats->workers.assign(pool.size() + 1, WorkerLoad{});
     for (const auto& so : outs) {
       const std::size_t slot = so.worker >= 0

@@ -6,6 +6,10 @@
 #include "parallel/thread_pool.hpp"
 #include "seq/rect_clip.hpp"
 
+namespace psclip::obs {
+class TraceSink;
+}
+
 namespace psclip::mt {
 
 /// How Algorithm 2's Steps 4–5 select the input handed to each slab task.
@@ -53,6 +57,16 @@ struct Alg2Options {
   /// Off: the first slab failure propagates out of slab_clip unchanged
   /// (fail-fast, the pre-isolation behavior).
   bool isolate_faults = true;
+  /// Trace + metrics sink for this run (see obs/trace.hpp). Null — the
+  /// default — is the null sink: every instrumentation site collapses to
+  /// one pointer test, the same "free when off" discipline as the
+  /// fault.hpp injection sites. Non-null: the run records a
+  /// request → phase → slab → rung span hierarchy (slab spans carry slab
+  /// id, executing worker, degradation rung and attempt count; the clip
+  /// phase span carries the steal totals) plus alg2.* counters and latency
+  /// histograms. The sink must outlive the call and be thread-safe
+  /// (obs::TraceRecorder is).
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts

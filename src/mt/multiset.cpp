@@ -9,6 +9,7 @@
 
 #include "error.hpp"
 #include "mt/arena.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
@@ -117,6 +118,10 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
                ? MultisetAssign::kSubjectOwner
                : MultisetAssign::kBlockClosure;
   }
+  obs::TraceSink* const sink = opts.trace_sink;
+  obs::ScopedSpan req_span(sink, "alg2.multiset_clip", obs::Cat::kRequest);
+  par::WallTimer req_timer;
+  obs::ScopedSpan events_span(sink, "multiset.events", obs::Cat::kPhase);
   par::WallTimer phase_timer;
 
   const auto srecs = records(subject);
@@ -148,6 +153,13 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   const std::size_t nslabs = bounds.size() - 1;
   const double t_events = phase_timer.seconds();
   phase_timer.reset();
+  events_span.arg("events", static_cast<std::int64_t>(events.size()));
+  events_span.arg("slabs", static_cast<std::int64_t>(nslabs));
+  events_span.end();
+  req_span.arg("polygons",
+               static_cast<std::int64_t>(srecs.size() + crecs.size()));
+  req_span.arg("op", static_cast<std::int64_t>(op));
+  obs::ScopedSpan assign_span(sink, "multiset.assign", obs::Cat::kPhase);
 
   // ---- Distribute polygons to slabs per the assignment mode. ----
   std::vector<geom::PolygonSet> slab_subject, slab_clip_in;
@@ -267,6 +279,8 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   const std::size_t nwork = slab_subject.size();
   const double t_assign = phase_timer.seconds();
   phase_timer.reset();
+  assign_span.arg("slab_tasks", static_cast<std::int64_t>(nwork));
+  assign_span.end();
 
   // ---- Per-slab sequential clipping, all slabs in parallel. ----
   struct SlabOut {
@@ -305,11 +319,15 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     so.load.output_vertices = vs.output_vertices;
     so.load.touched_edges = static_cast<std::int64_t>(
         slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
+    if (sink) sink->observe("multiset.slab_clip_seconds", so.load.seconds);
     if (!geom::is_finite(so.result))
       throw Error(ErrorCode::kNonFinite,
                   "non-finite vertex in multiset slab " + std::to_string(t) +
                       " output");
   };
+
+  obs::ScopedSpan clip_span(sink, "multiset.clip", obs::Cat::kPhase);
+  const obs::SpanId clip_id = clip_span.id();
 
   pool.parallel_for(
       nwork,
@@ -317,6 +335,9 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         // Deterministic fault key: plans keyed on slab t fire for slab t
         // regardless of which worker the pool hands it to.
         par::fault::ScopedKey key(t);
+        obs::ScopedSpan slab_span(sink, "multiset.slab", obs::Cat::kSlab,
+                                  clip_id);
+        slab_span.arg("slab", static_cast<std::int64_t>(t));
         if (!opts.isolate_faults) {
           attempt_slab(t, Rung::kHealthy);
           return;
@@ -326,29 +347,37 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         bool recorded = false;
         for (const Rung rung : {Rung::kHealthy, Rung::kRetrySafe}) {
           ++so.report.attempts;
+          obs::ScopedSpan rung_span(sink, to_string(rung), obs::Cat::kRung);
+          rung_span.arg("rung", static_cast<std::int64_t>(rung));
           try {
             attempt_slab(t, rung);
             so.report.rung = rung;
+            slab_span.arg("rung", static_cast<std::int64_t>(rung));
+            slab_span.arg("attempts", so.report.attempts);
             return;
           } catch (const Error& e) {
+            rung_span.arg("failed", 1);
             if (!recorded) {
               so.report.cause = e.code();
               so.report.message = e.what();
               recorded = true;
             }
           } catch (const std::bad_alloc&) {
+            rung_span.arg("failed", 1);
             if (!recorded) {
               so.report.cause = ErrorCode::kResource;
               so.report.message = "std::bad_alloc";
               recorded = true;
             }
           } catch (const std::exception& e) {
+            rung_span.arg("failed", 1);
             if (!recorded) {
               so.report.cause = ErrorCode::kSlabFailure;
               so.report.message = e.what();
               recorded = true;
             }
           } catch (...) {
+            rung_span.arg("failed", 1);
             if (!recorded) {
               so.report.cause = ErrorCode::kSlabFailure;
               so.report.message = "unknown exception";
@@ -358,6 +387,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         }
         so.result = geom::PolygonSet{};
         so.exhausted = true;
+        slab_span.arg("exhausted", 1);
       },
       /*grain=*/1);
 
@@ -370,6 +400,9 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     // per slab and dedup becomes unnecessary). Runs keyless so slab-keyed
     // fault plans cannot follow the computation here.
     par::fault::ScopedKey key(par::fault::kNoKey);
+    obs::ScopedSpan whole_span(sink, to_string(Rung::kWholeInput),
+                               obs::Cat::kRung);
+    whole_span.arg("rung", static_cast<std::int64_t>(Rung::kWholeInput));
     geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
     for (auto& so : outs) {
       so.result = geom::PolygonSet{};
@@ -380,8 +413,10 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   }
   const double t_clip = phase_timer.seconds();
   phase_timer.reset();
+  clip_span.end();
 
   // ---- Post-processing: concatenate; drop replicated duplicates. ----
+  obs::ScopedSpan merge_span(sink, "multiset.merge", obs::Cat::kPhase);
   geom::PolygonSet merged;
   for (auto& so : outs)
     for (auto& c : so.result.contours)
@@ -391,6 +426,21 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
                              ? drop_duplicates(std::move(merged), &dups)
                              : std::move(merged);
   const double t_merge = phase_timer.seconds();
+  merge_span.arg("output_contours",
+                 static_cast<std::int64_t>(out.num_contours()));
+  merge_span.arg("duplicates_removed", dups);
+  merge_span.end();
+
+  if (sink) {
+    std::int64_t degraded = 0;
+    for (const auto& so : outs)
+      if (so.report.rung != Rung::kHealthy) ++degraded;
+    req_span.arg("degraded_slabs", degraded);
+    sink->add_counter("multiset.requests", 1);
+    sink->add_counter("multiset.slabs", static_cast<std::int64_t>(nwork));
+    sink->add_counter("multiset.degraded_slabs", degraded);
+    sink->observe("multiset.request_seconds", req_timer.seconds());
+  }
 
   if (stats) {
     stats->slabs.clear();

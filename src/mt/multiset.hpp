@@ -5,6 +5,10 @@
 #include "mt/stats.hpp"
 #include "parallel/thread_pool.hpp"
 
+namespace psclip::obs {
+class TraceSink;
+}
+
 namespace psclip::mt {
 
 /// How polygons are distributed over slabs in the two-sets clipper.
@@ -47,6 +51,10 @@ struct MultisetOptions {
   /// complete. Alg2Stats::degradation records the rung per slab. Off:
   /// the first slab failure propagates out of multiset_clip unchanged.
   bool isolate_faults = true;
+  /// Trace + metrics sink for this run; null (default) = tracing off at the
+  /// cost of one pointer test per site. Same contract as
+  /// Alg2Options::trace_sink.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 /// Clip two *sets* of polygons (e.g. two GIS layers) — the paper's

@@ -1,0 +1,110 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+
+namespace psclip::obs {
+
+namespace {
+
+std::string fmt_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+double MetricsSnapshot::HistogramRow::quantile(double q) const {
+  if (count == 0) return 0.0;
+  const auto target =
+      static_cast<std::uint64_t>(q * static_cast<double>(count));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > target)
+      return Histogram::kBounds[std::min(i, Histogram::kBounds.size() - 1)];
+  }
+  return Histogram::kBounds.back();
+}
+
+std::string MetricsSnapshot::to_text() const {
+  std::string out;
+  for (const auto& [name, v] : counters) {
+    out += name;
+    out += " = ";
+    out += std::to_string(v);
+    out += "\n";
+  }
+  for (const auto& h : histograms) {
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "%s: count=%llu sum=%.6fs p50<=%.6fs p99<=%.6fs\n",
+                  h.name.c_str(), static_cast<unsigned long long>(h.count),
+                  h.sum_seconds, h.quantile(0.50), h.quantile(0.99));
+    out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"histograms\": {";
+  first = true;
+  for (const auto& h : histograms) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + h.name + "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_seconds\": " + fmt_num(h.sum_seconds) + ", \"buckets\": [";
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (i) out += ", ";
+      out += std::to_string(h.buckets[i]);
+    }
+    out += "]}";
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += "\n}\n";
+  return out;
+}
+
+Counter& Metrics::counter(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Histogram& Metrics::histogram(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lk(mu_);
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::HistogramRow row;
+    row.name = name;
+    row.sum_seconds = h->sum_seconds();
+    for (std::size_t i = 0; i < Histogram::kBuckets; ++i) {
+      row.buckets[i] = h->bucket_count(i);
+      row.count += row.buckets[i];
+    }
+    snap.histograms.push_back(std::move(row));
+  }
+  return snap;
+}
+
+}  // namespace psclip::obs

@@ -1,0 +1,114 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace psclip::obs {
+
+/// Monotonic counter. Relaxed atomics: counters are statistics, not
+/// synchronization.
+class Counter {
+ public:
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucket boundaries are a hard-coded
+/// 1-2-5 ladder from 1 µs to 1 s — wide enough for everything from one
+/// rect-clip to a whole multi-million-vertex request — so recording is one
+/// linear scan over 19 constants plus two relaxed fetch_adds; no allocation,
+/// no locks, safe from any thread.
+class Histogram {
+ public:
+  /// Upper bounds (seconds) of each bucket; the last bucket is unbounded.
+  static constexpr std::array<double, 19> kBounds = {
+      1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3,
+      2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 1e-1, 2e-1, 5e-1, 1.0};
+  static constexpr std::size_t kBuckets = kBounds.size() + 1;
+
+  void observe(double seconds) {
+    std::size_t b = kBuckets - 1;
+    for (std::size_t i = 0; i < kBounds.size(); ++i) {
+      if (seconds <= kBounds[i]) {
+        b = i;
+        break;
+      }
+    }
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    sum_ns_.fetch_add(static_cast<std::int64_t>(seconds * 1e9),
+                      std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t i) const {
+    return counts_[i].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total_count() const {
+    std::uint64_t n = 0;
+    for (const auto& c : counts_) n += c.load(std::memory_order_relaxed);
+    return n;
+  }
+  [[nodiscard]] double sum_seconds() const {
+    return static_cast<double>(sum_ns_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::int64_t> sum_ns_{0};
+};
+
+/// Point-in-time copy of a Metrics registry, with text and JSON renderers.
+struct MetricsSnapshot {
+  struct HistogramRow {
+    std::string name;
+    std::uint64_t count = 0;
+    double sum_seconds = 0.0;
+    std::array<std::uint64_t, Histogram::kBuckets> buckets{};
+
+    /// Upper-bound estimate of the q-quantile (q in [0,1]) from the bucket
+    /// counts; returns the bucket's upper bound (last bound for overflow).
+    [[nodiscard]] double quantile(double q) const;
+  };
+
+  std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<HistogramRow> histograms;
+
+  /// Human-readable table (one counter or histogram per line).
+  [[nodiscard]] std::string to_text() const;
+  /// Compact machine-readable object:
+  /// {"counters":{...},"histograms":{name:{count,sum_seconds,buckets:[..]}}}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Named-metric registry. Lookup takes a mutex (registration is rare and
+/// callers cache the returned reference); recording through the returned
+/// Counter&/Histogram& is lock-free. References stay valid for the life of
+/// the Metrics object.
+class Metrics {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Copy out every metric. Safe to call while other threads record (values
+  /// are torn only across metrics, never within one atomic).
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace psclip::obs

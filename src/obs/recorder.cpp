@@ -1,0 +1,145 @@
+#include "obs/recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace psclip::obs {
+
+std::int64_t TraceRecorder::Span::arg(const char* key,
+                                      std::int64_t missing) const {
+  for (std::uint8_t i = 0; i < nargs; ++i)
+    if (std::strcmp(args[i].first, key) == 0) return args[i].second;
+  return missing;
+}
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::ThreadBuf& TraceRecorder::buf() {
+  ThreadBuf& b = bufs_.local();
+  if (!b.tid_assigned) {
+    b.tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    b.tid_assigned = true;
+  }
+  return b;
+}
+
+std::uint64_t TraceRecorder::now_ns() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+TraceRecorder::Span* TraceRecorder::find_open(ThreadBuf& b, std::uint64_t id) {
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it)
+    if (it->id == id) return &*it;
+  return nullptr;
+}
+
+SpanId TraceRecorder::begin_span(const char* name, Cat cat, SpanId parent) {
+  ThreadBuf& b = buf();
+  if (b.done.size() + b.open.size() >= kMaxSpansPerThread) {
+    ++b.dropped;
+    return SpanId{0};
+  }
+  Span s;
+  s.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  // Explicit parent wins (cross-thread lineage, e.g. slab → clip phase);
+  // otherwise nest under the calling thread's innermost open span.
+  s.parent = parent.v ? parent.v : (b.open.empty() ? 0 : b.open.back().id);
+  s.name = name;
+  s.cat = cat;
+  s.tid = b.tid;
+  s.t_start_ns = now_ns();
+  b.open.push_back(s);
+  return SpanId{s.id};
+}
+
+void TraceRecorder::end_span(SpanId id) {
+  if (!id.v) return;  // span was dropped at begin
+  ThreadBuf& b = buf();
+  const std::uint64_t t = now_ns();
+  // RAII discipline makes the target the innermost open span; tolerate
+  // out-of-order closes by searching downward.
+  for (auto it = b.open.rbegin(); it != b.open.rend(); ++it) {
+    if (it->id != id.v) continue;
+    it->t_end_ns = t;
+    b.done.push_back(*it);
+    b.open.erase(std::next(it).base());
+    return;
+  }
+}
+
+void TraceRecorder::span_arg(SpanId id, const char* key, std::int64_t value) {
+  if (!id.v) return;
+  ThreadBuf& b = buf();
+  Span* s = find_open(b, id.v);
+  if (!s || s->nargs >= kMaxArgs) return;
+  s->args[s->nargs++] = {key, value};
+}
+
+void TraceRecorder::add_counter(const char* name, std::int64_t delta) {
+  metrics_.counter(name).add(delta);
+}
+
+void TraceRecorder::observe(const char* histogram, double seconds) {
+  metrics_.histogram(histogram).observe(seconds);
+}
+
+std::vector<TraceRecorder::Span> TraceRecorder::spans() const {
+  std::vector<Span> all;
+  bufs_.for_each([&](const ThreadBuf& b) {
+    all.insert(all.end(), b.done.begin(), b.done.end());
+  });
+  std::sort(all.begin(), all.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.t_start_ns != b.t_start_ns) return a.t_start_ns < b.t_start_ns;
+    return a.id < b.id;
+  });
+  return all;
+}
+
+std::uint64_t TraceRecorder::dropped_spans() const {
+  std::uint64_t n = 0;
+  bufs_.for_each([&](const ThreadBuf& b) { n += b.dropped; });
+  return n;
+}
+
+std::string TraceRecorder::chrome_trace_json() const {
+  const std::vector<Span> all = spans();
+  std::string out = "{\"traceEvents\":[";
+  char buf_[256];
+  bool first = true;
+  for (const Span& s : all) {
+    std::snprintf(buf_, sizeof buf_,
+                  "%s\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{"
+                  "\"id\":%llu,\"parent\":%llu",
+                  first ? "" : ",", s.name, to_string(s.cat),
+                  static_cast<double>(s.t_start_ns) * 1e-3,
+                  static_cast<double>(s.t_end_ns - s.t_start_ns) * 1e-3,
+                  s.tid, static_cast<unsigned long long>(s.id),
+                  static_cast<unsigned long long>(s.parent));
+    out += buf_;
+    for (std::uint8_t i = 0; i < s.nargs; ++i) {
+      std::snprintf(buf_, sizeof buf_, ",\"%s\":%lld", s.args[i].first,
+                    static_cast<long long>(s.args[i].second));
+      out += buf_;
+    }
+    out += "}}";
+    first = false;
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace psclip::obs

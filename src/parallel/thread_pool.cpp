@@ -5,6 +5,7 @@
 #include <string>
 
 #include "error.hpp"
+#include "obs/trace.hpp"
 #include "parallel/timing.hpp"
 
 namespace psclip::par {
@@ -237,6 +238,13 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }
+
+  // Scheduling span via the process-wide sink (option structs don't reach
+  // here); null sink = one relaxed atomic load.
+  obs::ScopedSpan sched_span(obs::global_sink(), "pool.parallel_for",
+                             obs::Cat::kSchedule);
+  sched_span.arg("n", static_cast<std::int64_t>(n));
+  sched_span.arg("grain", static_cast<std::int64_t>(grain));
 
   // Failure bookkeeping shared by all drivers: the first exception is kept
   // whole, later ones are counted (never silently dropped) and folded into

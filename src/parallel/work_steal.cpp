@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "error.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -89,9 +90,19 @@ void TaskGroup::run(std::function<void()> task) {
 void TaskGroup::drain() {
   // Help-first waiting: run queued tasks (any group's) instead of parking,
   // so a group waited on from inside a pool task cannot deadlock the pool.
+  // The wait span (process-wide sink; null = one relaxed load) makes time
+  // spent helping vs. yielding visible in traces.
+  if (pending_.load(std::memory_order_acquire) == 0) return;
+  obs::ScopedSpan wait_span(obs::global_sink(), "taskgroup.wait",
+                            obs::Cat::kSchedule);
+  std::int64_t helped = 0;
   while (pending_.load(std::memory_order_acquire) > 0) {
-    if (!pool_.help_one()) std::this_thread::yield();
+    if (pool_.help_one())
+      ++helped;
+    else
+      std::this_thread::yield();
   }
+  wait_span.arg("helped", helped);
 }
 
 void TaskGroup::wait() {

@@ -28,6 +28,9 @@
 #include "geom/wkt.hpp"
 #include "mt/algorithm2.hpp"
 #include "mt/multiset.hpp"
+#include "obs/metrics.hpp"
+#include "obs/recorder.hpp"
+#include "obs/trace.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/greiner_hormann.hpp"
 #include "seq/liang_barsky.hpp"
@@ -49,28 +52,42 @@ enum class Engine {
 
 /// One-call general polygon clipping. Even-odd semantics, arbitrary
 /// inputs (see README "Semantics and contract"). Parallel engines use the
-/// process-wide default thread pool.
+/// process-wide default thread pool. When a process-wide trace sink is
+/// installed (obs::set_global_sink), the call records a psclip.clip request
+/// span and the parallel engines trace their phase/slab/rung breakdown
+/// into the same sink.
 inline geom::PolygonSet clip(const geom::PolygonSet& subject,
                              const geom::PolygonSet& clip_poly,
                              geom::BoolOp op, Engine engine = Engine::kAuto) {
+  obs::TraceSink* const sink = obs::global_sink();
+  obs::ScopedSpan req_span(sink, "psclip.clip", obs::Cat::kRequest);
   switch (engine) {
     case Engine::kVatti:
       return seq::vatti_clip(subject, clip_poly, op);
     case Engine::kMartinez:
       return seq::martinez_clip(subject, clip_poly, op);
-    case Engine::kScanbeam:
-      return core::scanbeam_clip(subject, clip_poly, op,
-                                 par::default_pool());
-    case Engine::kSlab:
-      return mt::slab_clip(subject, clip_poly, op, par::default_pool());
+    case Engine::kScanbeam: {
+      core::Alg1Options opts;
+      opts.trace_sink = sink;
+      return core::scanbeam_clip(subject, clip_poly, op, par::default_pool(),
+                                 nullptr, opts);
+    }
+    case Engine::kSlab: {
+      mt::Alg2Options opts;
+      opts.trace_sink = sink;
+      return mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts);
+    }
     case Engine::kAuto:
       break;
   }
   // Heuristic: the parallel decomposition pays off once the input is big
   // enough to amortize partitioning (cf. bench_fig8).
   const std::size_t n = subject.num_vertices() + clip_poly.num_vertices();
-  if (n >= 20000 && par::default_pool().size() > 1)
-    return mt::slab_clip(subject, clip_poly, op, par::default_pool());
+  if (n >= 20000 && par::default_pool().size() > 1) {
+    mt::Alg2Options opts;
+    opts.trace_sink = sink;
+    return mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts);
+  }
   return seq::vatti_clip(subject, clip_poly, op);
 }
 

@@ -1,0 +1,92 @@
+// Schema contract for the bench harness JSON reports: every report written
+// through bench::JsonReport carries "schema_version" (the gate scripts and
+// the perf-smoke CI job key on it), scalar fields and row arrays survive
+// round-tripping, and a caller-supplied version is not duplicated.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "bench_util.hpp"
+
+namespace psclip {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (!f) return {};
+  std::string out;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out.append(buf, n);
+  std::fclose(f);
+  return out;
+}
+
+std::size_t count_key(const std::string& doc, const std::string& key) {
+  std::size_t n = 0;
+  for (std::size_t pos = doc.find('"' + key + '"'); pos != std::string::npos;
+       pos = doc.find('"' + key + '"', pos + 1))
+    ++n;
+  return n;
+}
+
+TEST(BenchJson, SchemaVersionIsStamped) {
+  bench::JsonReport r;
+  r.field("threads", 4LL);
+  r.field("dataset", std::string("synthetic"));
+  r.row("phases");
+  r.cell("name", std::string("partition"));
+  r.cell("seconds", 0.25);
+  const std::string path = ::testing::TempDir() + "/bench_json_test.json";
+  ASSERT_TRUE(r.write_file(path));
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+
+  // Required keys for every report.
+  EXPECT_EQ(count_key(doc, "schema_version"), 1u) << doc;
+  EXPECT_NE(doc.find("\"schema_version\": " +
+                     std::to_string(bench::kReportSchemaVersion)),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"threads\": 4"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"dataset\": \"synthetic\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"phases\": ["), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"name\": \"partition\""), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"seconds\": 0.25"), std::string::npos) << doc;
+  // Balanced braces/brackets — cheap structural sanity without a parser.
+  std::ptrdiff_t braces = 0, brackets = 0;
+  for (const char ch : doc) {
+    braces += (ch == '{') - (ch == '}');
+    brackets += (ch == '[') - (ch == ']');
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(BenchJson, CallerVersionIsNotDuplicated) {
+  bench::JsonReport r;
+  r.field("schema_version", 7LL);
+  const std::string path = ::testing::TempDir() + "/bench_json_test2.json";
+  ASSERT_TRUE(r.write_file(path));
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_key(doc, "schema_version"), 1u) << doc;
+  EXPECT_NE(doc.find("\"schema_version\": 7"), std::string::npos) << doc;
+}
+
+TEST(BenchJson, EmptyReportIsValidObject) {
+  bench::JsonReport r;
+  const std::string path = ::testing::TempDir() + "/bench_json_test3.json";
+  ASSERT_TRUE(r.write_file(path));
+  const std::string doc = slurp(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(count_key(doc, "schema_version"), 1u) << doc;
+  EXPECT_EQ(doc.front(), '{');
+  EXPECT_EQ(doc[doc.size() - 2], '}');  // trailing newline after the object
+}
+
+}  // namespace
+}  // namespace psclip

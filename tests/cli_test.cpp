@@ -6,6 +6,7 @@
 #include <array>
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <string>
 
 #ifndef PSCLIP_CLI_PATH
@@ -32,8 +33,12 @@ class CliTest : public ::testing::Test {
   void SetUp() override {
     if (std::string(PSCLIP_CLI_PATH).empty())
       GTEST_SKIP() << "psclip_cli not built";
-    a_path_ = testing::TempDir() + "/psclip_cli_a.wkt";
-    b_path_ = testing::TempDir() + "/psclip_cli_b.json";
+    // ctest runs each discovered case as its own process of this binary;
+    // per-PID names keep concurrent cases from deleting each other's
+    // fixtures mid-run.
+    const std::string tag = std::to_string(getpid());
+    a_path_ = testing::TempDir() + "/psclip_cli_" + tag + "_a.wkt";
+    b_path_ = testing::TempDir() + "/psclip_cli_" + tag + "_b.json";
     std::ofstream(a_path_)
         << "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))";
     std::ofstream(b_path_)
@@ -128,6 +133,52 @@ TEST_F(CliTest, SanitizeRepairsDefectiveInput) {
   EXPECT_NEAR(std::stod(repaired.substr(line == std::string::npos ? 0
                                                                   : line + 1)),
               25.0, 1e-3);
+}
+
+TEST_F(CliTest, TraceOutWritesLoadableChromeTrace) {
+  const std::string trace = testing::TempDir() + "/psclip_cli_trace.json";
+  int rc = -1;
+  const std::string out =
+      run("intersection " + a_path_ + " " + b_path_ +
+              " --engine=slab --out=area --trace-out=" + trace,
+          &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("trace written to"), std::string::npos) << out;
+
+  std::ifstream f(trace);
+  ASSERT_TRUE(f.good()) << trace;
+  std::string doc((std::istreambuf_iterator<char>(f)),
+                  std::istreambuf_iterator<char>());
+  std::remove(trace.c_str());
+  // chrome://tracing essentials plus the documented span hierarchy: the
+  // facade request, the engine request/phases, per-slab spans, and the
+  // parse spans recorded before clipping started.
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("\"psclip.clip\""), std::string::npos);
+  EXPECT_NE(doc.find("\"alg2.slab_clip\""), std::string::npos);
+  EXPECT_NE(doc.find("\"alg2.clip\""), std::string::npos);
+  EXPECT_NE(doc.find("\"alg2.slab\""), std::string::npos);
+  EXPECT_NE(doc.find("\"parse.wkt\""), std::string::npos);
+  EXPECT_NE(doc.find("\"parse.geojson\""), std::string::npos);
+}
+
+TEST_F(CliTest, MetricsPrintsSnapshot) {
+  int rc = -1;
+  const std::string out = run("intersection " + a_path_ + " " + b_path_ +
+                                  " --engine=slab --out=area --metrics",
+                              &rc);
+  EXPECT_EQ(rc, 0) << out;
+  EXPECT_NE(out.find("alg2.requests"), std::string::npos) << out;
+  EXPECT_NE(out.find("alg2.request_seconds"), std::string::npos) << out;
+}
+
+TEST_F(CliTest, EmptyTraceOutPathIsUsage) {
+  int rc = -1;
+  const std::string out =
+      run("intersection " + a_path_ + " " + b_path_ + " --trace-out=", &rc);
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("usage:"), std::string::npos);
 }
 
 }  // namespace

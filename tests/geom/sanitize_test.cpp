@@ -108,6 +108,61 @@ TEST(Sanitize, LeavesSelfIntersectionsAlone) {
   EXPECT_EQ(out.contours[0].pts.size(), 4u);
 }
 
+TEST(Sanitize, ContourCollapsingToExactlyThreeVerticesSurvives) {
+  // Repair leaves exactly 3 vertices — the minimum legal ring — so the
+  // contour must be kept, not dropped by the too-few-vertices pass.
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {0.0, 0.0}, {10.0, 0.0}, {kNan, 3.0}, {5.0, 10.0}});
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  ASSERT_EQ(out.num_contours(), 1u);
+  ASSERT_EQ(out.contours[0].pts.size(), 3u);
+  EXPECT_EQ(out.contours[0][0].x, 0.0);
+  EXPECT_EQ(out.contours[0][1].x, 10.0);
+  EXPECT_EQ(out.contours[0][2].x, 5.0);
+  ASSERT_EQ(issues.size(), 2u);
+  for (const auto& i : issues) EXPECT_NE(i.kind, Kind::kTooFewVertices);
+}
+
+TEST(Sanitize, AllContoursDroppedYieldsEmptySet) {
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {1.0, 1.0}});                    // too few from the start
+  p.add({{kNan, kNan}, {kInf, 0.0}, {0.0, kNan}});    // fully non-finite
+  p.add({{3.0, 3.0}, {3.0, 3.0}, {3.0, 3.0}, {3.0, 3.0}});  // one point
+  std::vector<ValidationIssue> issues;
+  const PolygonSet out = sanitize(p, &issues);
+  EXPECT_EQ(out.num_contours(), 0u);
+  EXPECT_TRUE(out.contours.empty());
+  // Every input contour must be reported dropped.
+  std::size_t dropped = 0;
+  for (const auto& i : issues)
+    if (i.kind == Kind::kTooFewVertices) ++dropped;
+  EXPECT_EQ(dropped, 3u);
+}
+
+TEST(Sanitize, Idempotent) {
+  // sanitize(sanitize(x)) == sanitize(x), bit for bit: the first pass
+  // removes every defect it knows, so the second finds nothing.
+  PolygonSet p;
+  p.add({{0.0, 0.0}, {0.0, 0.0}, {kNan, 5.0}, {10.0, 0.0}, {10.0, 10.0},
+         {0.0, 10.0}, {0.0, 0.0}});
+  p.add({{1.0, 1.0}, {kInf, kInf}, {2.0, 2.0}});
+  p.add({{20.0, 20.0}, {30.0, 20.0}, {25.0, 30.0}}, /*hole=*/true);
+  const PolygonSet once = sanitize(p);
+  std::vector<ValidationIssue> issues;
+  const PolygonSet twice = sanitize(once, &issues);
+  EXPECT_TRUE(issues.empty());
+  ASSERT_EQ(twice.num_contours(), once.num_contours());
+  for (std::size_t i = 0; i < once.contours.size(); ++i) {
+    EXPECT_EQ(twice.contours[i].hole, once.contours[i].hole);
+    ASSERT_EQ(twice.contours[i].pts.size(), once.contours[i].pts.size());
+    for (std::size_t j = 0; j < once.contours[i].pts.size(); ++j) {
+      EXPECT_EQ(twice.contours[i][j].x, once.contours[i][j].x);
+      EXPECT_EQ(twice.contours[i][j].y, once.contours[i][j].y);
+    }
+  }
+}
+
 TEST(Sanitize, IssuesPointerIsOptional) {
   PolygonSet p;
   p.add({{0.0, 0.0}, {kNan, 0.0}, {10.0, 0.0}, {10.0, 10.0}, {0.0, 10.0}});
