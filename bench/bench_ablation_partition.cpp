@@ -127,13 +127,22 @@ int main(int argc, char** argv) {
     report.cell("indexed_ms", t_idx * 1e3);
     report.cell("broadcast_ms", t_bcast * 1e3);
     // Phase breakdown of each path (from the instrumented Alg2Stats of the
-    // last of the three timed runs).
-    report.cell("indexed_partition_ms", si.phases.partition * 1e3);
-    report.cell("indexed_clip_ms", si.phases.clip * 1e3);
-    report.cell("indexed_merge_ms", si.phases.merge * 1e3);
-    report.cell("broadcast_partition_ms", sb.phases.partition * 1e3);
-    report.cell("broadcast_clip_ms", sb.phases.clip * 1e3);
-    report.cell("broadcast_merge_ms", sb.phases.merge * 1e3);
+    // last of the three timed runs). Wall = calling-thread section times
+    // (sum ≈ the run's elapsed time); cpu = per-worker phase time summed
+    // across workers (clip_cpu can exceed clip_wall p-fold). Schema 1 had
+    // one column mixing both units.
+    report.cell("indexed_partition_wall_ms", si.phases.partition * 1e3);
+    report.cell("indexed_clip_wall_ms", si.phases.clip * 1e3);
+    report.cell("indexed_merge_wall_ms", si.phases.merge * 1e3);
+    report.cell("indexed_partition_cpu_ms", si.phases.partition_cpu * 1e3);
+    report.cell("indexed_clip_cpu_ms", si.phases.clip_cpu * 1e3);
+    report.cell("indexed_merge_cpu_ms", si.phases.merge_cpu * 1e3);
+    report.cell("broadcast_partition_wall_ms", sb.phases.partition * 1e3);
+    report.cell("broadcast_clip_wall_ms", sb.phases.clip * 1e3);
+    report.cell("broadcast_merge_wall_ms", sb.phases.merge * 1e3);
+    report.cell("broadcast_partition_cpu_ms", sb.phases.partition_cpu * 1e3);
+    report.cell("broadcast_clip_cpu_ms", sb.phases.clip_cpu * 1e3);
+    report.cell("broadcast_merge_cpu_ms", sb.phases.merge_cpu * 1e3);
 
     if (!identical(ri, rb)) {
       std::fprintf(stderr,

@@ -1,0 +1,153 @@
+// Microbenchmark + CI gate for the cache-conscious Vatti sweep kernel.
+//
+// Runs the sequential sweep on the polygon_field x2 overlay (the workload
+// where BENCH_partition.json showed the per-slab clip phase is ~95% of
+// Algorithm 2 wall time) with both per-beam maintenance strategies:
+// SweepKernel::kTuned (flat position index, sorted-beam fast path, batched
+// minima insertion, SoA x arrays, merged scanbeam schedule) and
+// SweepKernel::kReference (the pre-optimization strategy: per-beam hash-map
+// rebuild, per-minimum mid-vector insert, full intersection pass every
+// beam, per-entry x copy, sort+unique schedule).
+//
+// Gates (process exits nonzero on violation — CI runs this binary):
+//   * byte-identical output between the two kernels on every op measured;
+//   * tuned median >= kMinSpeedup x faster than the reference median
+//     (override with PSCLIP_SWEEP_GATE=<factor> for noisy hosts).
+//
+// With --json <path>, the measurements are mirrored into a
+// schema_version-stamped report (committed as BENCH_sweep.json).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "geom/polygon.hpp"
+#include "seq/vatti.hpp"
+
+namespace {
+
+bool identical(const psclip::geom::PolygonSet& a,
+               const psclip::geom::PolygonSet& b) {
+  if (a.num_contours() != b.num_contours()) return false;
+  for (std::size_t i = 0; i < a.contours.size(); ++i) {
+    if (a.contours[i].pts.size() != b.contours[i].pts.size()) return false;
+    for (std::size_t j = 0; j < a.contours[i].pts.size(); ++j)
+      if (a.contours[i].pts[j].x != b.contours[i].pts[j].x ||
+          a.contours[i].pts[j].y != b.contours[i].pts[j].y)
+        return false;
+  }
+  return true;
+}
+
+/// Minimum tuned-vs-reference speedup the gate requires. The acceptance
+/// bar is 1.15 (15%); PSCLIP_SWEEP_GATE overrides (e.g. a loaded CI host).
+double min_speedup() {
+  if (const char* s = std::getenv("PSCLIP_SWEEP_GATE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.15;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psclip;
+  bench::header("Sweep kernel — cache-conscious vs reference maintenance",
+                "paper §III-D per-slab cost model; DESIGN.md §9");
+
+  // Fixed workload, independent of PSCLIP_BENCH_SCALE: the gate compares
+  // two kernels on the same input, so it needs a stable, sweep-dominated
+  // problem size, not the paper's dataset ladder. 4000 contours/layer is
+  // the size the committed BENCH_partition.json uses.
+  constexpr int kContours = 4000;
+  const geom::PolygonSet subject =
+      data::polygon_field(9001, kContours, 100.0, 12);
+  const geom::PolygonSet clip = data::polygon_field(9002, kContours, 100.0, 10);
+  const auto total_verts =
+      static_cast<long long>(subject.num_vertices() + clip.num_vertices());
+  std::printf("workload: 2 x polygon_field(%d contours), %lld vertices\n\n",
+              kContours, total_verts);
+
+  bench::JsonReport report;
+  report.field("bench", std::string("sweep_kernel"));
+  report.field("workload", std::string("polygon_field x2"));
+  report.field("contours_per_layer", static_cast<long long>(kContours));
+  report.field("total_vertices", total_verts);
+  report.field("gate_min_speedup", min_speedup());
+
+  std::printf("%8s | %12s %12s %8s | %10s %10s %12s\n", "op", "tuned (ms)",
+              "ref (ms)", "speedup", "beams", "sorted", "sorted-rate");
+
+  bool gate_ok = true;
+  double field_speedup = 0.0;  // the union row, the gate's headline number
+  for (const geom::BoolOp op :
+       {geom::BoolOp::kUnion, geom::BoolOp::kIntersection}) {
+    // Scratch reused across the timed runs of one kernel, as a slab-arena
+    // worker would; stats come from a separate untimed run.
+    seq::VattiScratch scratch;
+    geom::PolygonSet out_tuned, out_ref;
+    const double t_tuned = bench::time_median3([&] {
+      out_tuned = seq::vatti_clip(subject, clip, op, nullptr, &scratch,
+                                  seq::SweepKernel::kTuned);
+    });
+    const double t_ref = bench::time_median3([&] {
+      out_ref = seq::vatti_clip(subject, clip, op, nullptr, &scratch,
+                                seq::SweepKernel::kReference);
+    });
+    seq::VattiStats st;
+    (void)seq::vatti_clip(subject, clip, op, &st, &scratch,
+                          seq::SweepKernel::kTuned);
+
+    const double speedup = t_tuned > 0 ? t_ref / t_tuned : 0.0;
+    const double sorted_rate =
+        st.scanbeams > 0
+            ? static_cast<double>(st.sorted_beams) /
+                  static_cast<double>(st.scanbeams)
+            : 0.0;
+    std::printf("%8s | %12.3f %12.3f %8.2fx | %10lld %10lld %11.1f%%\n",
+                geom::to_string(op), t_tuned * 1e3, t_ref * 1e3, speedup,
+                static_cast<long long>(st.scanbeams),
+                static_cast<long long>(st.sorted_beams), sorted_rate * 100.0);
+
+    report.row("kernels");
+    report.cell("op", std::string(geom::to_string(op)));
+    report.cell("tuned_ms", t_tuned * 1e3);
+    report.cell("reference_ms", t_ref * 1e3);
+    report.cell("speedup", speedup);
+    report.cell("scanbeams", static_cast<long long>(st.scanbeams));
+    report.cell("sorted_beams", static_cast<long long>(st.sorted_beams));
+    report.cell("sorted_beam_rate", sorted_rate);
+    report.cell("pos_rebuilds", static_cast<long long>(st.pos_rebuilds));
+    report.cell("intersections", static_cast<long long>(st.intersections));
+    report.cell("max_aet", static_cast<long long>(st.max_aet));
+    report.cell("output_vertices",
+                static_cast<long long>(st.output_vertices));
+
+    if (!identical(out_tuned, out_ref)) {
+      std::fprintf(stderr, "FAIL: kernel outputs differ for op=%s\n",
+                   geom::to_string(op));
+      gate_ok = false;
+    }
+    if (op == geom::BoolOp::kUnion) field_speedup = speedup;
+  }
+
+  const double need = min_speedup();
+  if (field_speedup < need) {
+    std::fprintf(stderr,
+                 "FAIL: tuned kernel speedup %.3fx < required %.2fx on "
+                 "polygon_field union\n",
+                 field_speedup, need);
+    gate_ok = false;
+  }
+  report.field("gate_ok", static_cast<long long>(gate_ok ? 1 : 0));
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    if (!report.write_file(path)) return 1;
+    std::printf("\nwrote %s\n", path);
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -30,7 +30,10 @@ inline const char* json_path(int argc, char** argv) {
 /// Version stamp every bench report carries (as "schema_version") so
 /// downstream tooling can detect layout changes. Bump when a key is
 /// renamed/removed or its meaning changes; adding keys is compatible.
-inline constexpr long long kReportSchemaVersion = 1;
+///   2: per-phase timings split into *_wall_ms / *_cpu_ms (schema 1
+///      reported per-worker phase sums in the same column as wall times,
+///      so "clip" could exceed the run total at slabs = 1).
+inline constexpr long long kReportSchemaVersion = 2;
 
 /// Append-only JSON object writer for bench results — scalar fields plus
 /// named arrays of flat row objects, enough for "one table = one array"

@@ -208,8 +208,10 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       so.load.touched_edges =
           static_cast<std::int64_t>(subject.num_vertices() +
                                     clip.num_vertices());
-      a_t = seq::vatti_clip(subject, rp, geom::BoolOp::kIntersection);
-      b_t = seq::vatti_clip(clip, rp, geom::BoolOp::kIntersection);
+      a_t = seq::vatti_clip(subject, rp, geom::BoolOp::kIntersection, nullptr,
+                            nullptr, opts.sweep_kernel);
+      b_t = seq::vatti_clip(clip, rp, geom::BoolOp::kIntersection, nullptr,
+                            nullptr, opts.sweep_kernel);
     }
     so.partition_seconds = timer.seconds();
     part_span.arg("touched_edges", so.load.touched_edges);
@@ -223,7 +225,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     obs::ScopedSpan sweep_span(sink, "alg2.slab_sweep", obs::Cat::kPhase);
     timer.reset();
     seq::VattiStats vs;
-    so.result = seq::vatti_clip(a_t, b_t, op, &vs, scratch);
+    so.result = seq::vatti_clip(a_t, b_t, op, &vs, scratch, opts.sweep_kernel);
     if (rung == Rung::kHealthy &&
         par::fault::corrupt(par::fault::Site::kArena)) {
       const double nan = std::numeric_limits<double>::quiet_NaN();
@@ -354,7 +356,8 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                                  obs::Cat::kRung);
       whole_span.arg("rung", static_cast<std::int64_t>(Rung::kWholeInput));
       par::fault::ScopedKey key(par::fault::kNoKey);
-      geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
+      geom::PolygonSet whole = seq::vatti_clip(subject, clip, op, nullptr,
+                                               nullptr, opts.sweep_kernel);
       for (SlabOut& so : outs) {
         so.result = geom::PolygonSet{};
         so.report.rung = Rung::kWholeInput;
@@ -434,11 +437,20 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       w.idle_seconds =
           steal_after[i].idle_seconds - steal_before[i].idle_seconds;
     }
-    // Attribute setup + the slabs' rectangle clipping to "partition",
-    // the rest of the parallel section to "clip" (Fig. 9's categories).
-    stats->phases.partition = t_setup + partition_in_slabs;
-    stats->phases.clip = std::max(0.0, t_par - partition_in_slabs);
+    // Fig. 9's categories, in two consistent unit systems (see PhaseTimes):
+    // wall = the calling thread's sections (setup / parallel region /
+    // merge); cpu = per-worker time actually spent in the phase, summed
+    // across workers. Mixing the two in one field made per-phase numbers
+    // exceed the wall total whenever slabs ran concurrently — or, at
+    // slabs = 1, made "clip" exceed the whole run.
+    double clip_in_slabs = 0.0;
+    for (const auto& so : outs) clip_in_slabs += so.load.seconds;
+    stats->phases.partition = t_setup;
+    stats->phases.clip = t_par;
     stats->phases.merge = t_merge;
+    stats->phases.partition_cpu = t_setup + partition_in_slabs;
+    stats->phases.clip_cpu = clip_in_slabs;
+    stats->phases.merge_cpu = t_merge;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
   }
   return out;

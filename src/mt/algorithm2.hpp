@@ -5,6 +5,7 @@
 #include "mt/stats.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/rect_clip.hpp"
+#include "seq/vatti.hpp"
 
 namespace psclip::obs {
 class TraceSink;
@@ -57,6 +58,12 @@ struct Alg2Options {
   /// Off: the first slab failure propagates out of slab_clip unchanged
   /// (fail-fast, the pre-isolation behavior).
   bool isolate_faults = true;
+  /// Per-beam maintenance strategy of the sequential Vatti sweep that runs
+  /// inside every slab (see seq::SweepKernel). Both settings produce
+  /// byte-identical output; kReference reproduces the pre-optimization cost
+  /// profile and exists for the bench_sweep_kernel ablation and the
+  /// kernel-identity tests.
+  seq::SweepKernel sweep_kernel = seq::SweepKernel::kTuned;
   /// Trace + metrics sink for this run (see obs/trace.hpp). Null — the
   /// default — is the null sink: every instrumentation site collapses to
   /// one pointer test, the same "free when off" discipline as the

@@ -12,7 +12,9 @@ namespace psclip::mt {
 /// Reusable scratch owned by one executing thread, handed out by
 /// worker_arena(). A slab task borrows the arena for its whole run —
 /// rect-clip partition buffers, the Vatti sweep scratch (bound table,
-/// scanbeam list, AET, output pool, per-beam intersection buffers) and the
+/// scanbeam list, the SoA active edge table with its beam-bottom/beam-top
+/// x arrays and flat edge-id position index, output pool, per-beam
+/// intersection buffers, minima staging + merge buffers) and the
 /// contour-ref staging vectors used to materialize a slab's entry list from
 /// the SlabContourIndex. Because slab tasks on one thread run strictly one
 /// after another, nothing here needs synchronization; buffers are cleared

@@ -449,9 +449,18 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
       stats->slabs.push_back(so.load);
       stats->degradation.push_back(so.report);
     }
+    // Wall and CPU split (see PhaseTimes): the event/assignment passes run
+    // as caller-side sections, so their wall and cpu times coincide; the
+    // clip phase is the parallel region, so its cpu time is the per-slab
+    // sum, which can exceed the region's wall time p-fold.
+    double clip_in_slabs = 0.0;
+    for (const auto& so : outs) clip_in_slabs += so.load.seconds;
     stats->phases.partition = t_events + t_assign;
     stats->phases.clip = t_clip;
     stats->phases.merge = t_merge;
+    stats->phases.partition_cpu = t_events + t_assign;
+    stats->phases.clip_cpu = clip_in_slabs;
+    stats->phases.merge_cpu = t_merge;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
     stats->duplicates_removed = dups;
   }

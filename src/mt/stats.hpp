@@ -56,15 +56,33 @@ struct DegradationReport {
   std::string message;
 };
 
-/// Per-phase wall-clock seconds for Algorithm 2, matching the breakdown
-/// the paper reports in Fig. 9 (partitioning = Steps 4–5, clipping =
-/// Step 6, merging = Step 8).
+/// Per-phase timings for Algorithm 2, matching the breakdown the paper
+/// reports in Fig. 9 (partitioning = Steps 4–5, clipping = Step 6,
+/// merging = Step 8).
+///
+/// Wall and CPU are reported separately because the phases run on many
+/// workers at once: `partition`/`clip`/`merge` are *wall-clock* sections of
+/// the calling thread (they sum to roughly the run's elapsed time), while
+/// the `*_cpu` fields sum the per-worker time actually spent in that phase
+/// across all threads (clip_cpu == Σ SlabLoad::seconds). On p busy workers
+/// clip_cpu approaches p × clip; with one slab the two coincide up to
+/// scheduling overhead. Earlier schema-1 bench reports mixed the two units
+/// in one column, which made per-phase numbers exceed the total at
+/// slabs = 1.
 struct PhaseTimes {
-  double partition = 0.0;
-  double clip = 0.0;
-  double merge = 0.0;
+  double partition = 0.0;  ///< wall: slab placement + partition index build
+  double clip = 0.0;       ///< wall: the whole parallel slab section
+  double merge = 0.0;      ///< wall: result concatenation
+  double partition_cpu = 0.0;  ///< cpu: setup + Σ per-slab partition work
+  double clip_cpu = 0.0;       ///< cpu: Σ per-slab sequential clip time
+  double merge_cpu = 0.0;      ///< cpu: merge runs on the caller only
 
+  /// Wall-clock total (the paper's Fig. 9 stack height).
   [[nodiscard]] double total() const { return partition + clip + merge; }
+  /// Total CPU seconds charged to the three phases.
+  [[nodiscard]] double total_cpu() const {
+    return partition_cpu + clip_cpu + merge_cpu;
+  }
 };
 
 /// Per-slab work record, the raw material for the paper's load-imbalance

@@ -126,4 +126,41 @@ void scanbeam_ys_into(const BoundTable& bt, std::vector<double>& ys) {
   ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
 }
 
+void scanbeam_ys_merged_into(const BoundTable& bt, std::vector<double>& ys) {
+  ys.clear();
+  ys.reserve(bt.edges.size() + bt.minima.size());
+  // One sorted run per bound: the shared minimum's y, then the strictly
+  // increasing edge tops along the chain (each edge's bot is the previous
+  // edge's top, so interior bots add no distinct values).
+  std::vector<std::size_t> run_end;  // run r = ys[run_end[r], run_end[r+1])
+  run_end.reserve(bt.minima.size() * 2 + 1);
+  run_end.push_back(0);
+  for (const LocalMin& lm : bt.minima) {
+    for (const std::int32_t head : {lm.edge_left, lm.edge_right}) {
+      ys.push_back(bt.edges[static_cast<std::size_t>(head)].bot.y);
+      for (std::int32_t e = head; e >= 0;
+           e = bt.edges[static_cast<std::size_t>(e)].next)
+        ys.push_back(bt.edges[static_cast<std::size_t>(e)].top.y);
+      run_end.push_back(ys.size());
+    }
+  }
+  // Bottom-up pairwise merges: O(total · log(runs)), mostly sequential
+  // streaming passes over already-ordered data.
+  std::vector<std::size_t> next_end;
+  while (run_end.size() > 2) {
+    next_end.clear();
+    next_end.push_back(0);
+    std::size_t i = 0;
+    for (; i + 2 < run_end.size(); i += 2) {
+      std::inplace_merge(ys.begin() + static_cast<std::ptrdiff_t>(run_end[i]),
+                         ys.begin() + static_cast<std::ptrdiff_t>(run_end[i + 1]),
+                         ys.begin() + static_cast<std::ptrdiff_t>(run_end[i + 2]));
+      next_end.push_back(run_end[i + 2]);
+    }
+    if (i + 1 < run_end.size()) next_end.push_back(run_end[i + 1]);
+    run_end.swap(next_end);
+  }
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+}
+
 }  // namespace psclip::seq

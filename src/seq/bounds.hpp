@@ -58,4 +58,12 @@ std::vector<double> scanbeam_ys(const BoundTable& bt);
 /// As scanbeam_ys, but into a reused buffer (cleared, capacity retained).
 void scanbeam_ys_into(const BoundTable& bt, std::vector<double>& ys);
 
+/// As scanbeam_ys_into, but built by k-way merging the per-bound sorted
+/// y-lists (each bound's ys — its minimum plus the edge tops along the
+/// chain — are already ascending) with bottom-up pairwise in-place merges,
+/// instead of a comparison sort over all 2·|edges| endpoints. Produces the
+/// exact same schedule: the per-bound runs cover every distinct endpoint y,
+/// and merge + unique yields the identical sorted distinct-value vector.
+void scanbeam_ys_merged_into(const BoundTable& bt, std::vector<double>& ys);
+
 }  // namespace psclip::seq

@@ -72,6 +72,10 @@ class OutPolyPool {
   /// pooled sweep scratch reuse the same OutPolyPool across runs.
   void reset() { polys_.clear(); }
 
+  /// Pre-size the record array (the sweep reserves one slot per local
+  /// minimum up front, the upper bound on contributing minima).
+  void reserve(std::size_t n) { polys_.reserve(n); }
+
   /// Extract final contours: closed contours with >= 3 vertices,
   /// orientation normalized (exterior counter-clockwise, holes clockwise).
   /// Contours with |signed area| <= min_area are dropped.

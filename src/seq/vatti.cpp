@@ -15,6 +15,18 @@
 // run of sectors is bounded by two contributing half-edges, which connect
 // through the point — below+below closes a contour, above+above starts one,
 // below+above continues one.
+//
+// Data layout (DESIGN.md §9): the AET is SoA — the cold sweep-status fields
+// (SweepEntry) in one array, the hot beam-local x positions in two parallel
+// double arrays (xb = x at the beam bottom, xt = x at the beam top) — so
+// the per-beam ordering scans stream through contiguous doubles and the
+// beam rollover is one vector swap. A flat edge-id -> AET-index array
+// replaces the per-beam hash-map rebuild; it is maintained incrementally
+// across beams (O(1) per crossing swap, one suffix refresh per structural
+// edit batch). Because the AET is nearly sorted between beams, an O(|AET|)
+// adjacent scan detects the crossing-free common case and skips the
+// intersection machinery entirely. SweepKernel::kReference retains the
+// pre-optimization strategy; both kernels produce byte-identical output.
 
 #include "seq/vatti.hpp"
 
@@ -29,6 +41,7 @@
 
 #include "geom/intersect.hpp"
 #include "geom/perturb.hpp"
+#include "obs/trace.hpp"
 #include "parallel/fault.hpp"
 #include "seq/bounds.hpp"
 #include "seq/out_poly.hpp"
@@ -41,18 +54,25 @@ using geom::BoolOp;
 using geom::Point;
 using geom::PolygonSet;
 
-/// One AET entry: the shared sweep-status fields plus the beam-local
-/// x positions used for ordering.
-struct Active : SweepEntry {
-  double xb = 0.0;  // x on the current beam's bottom scanline
-  double xt = 0.0;  // x on the current beam's top scanline
-};
-
 /// One beam-internal crossing: eu is left of ev below the crossing point.
 struct CrossEv {
   std::int32_t eu, ev;  // bound-edge ids
   Point p;
 };
+
+/// One not-yet-merged AET insertion staged by the batched minima pass:
+/// the pair's entries go immediately before old-AET index `base`.
+struct StagedEntry {
+  std::size_t base;
+  SweepEntry ent;
+  double x;  ///< beam-bottom x (the minimum's x)
+};
+
+/// PSCLIP_VALIDATE presence, read once per process (not per sweep).
+bool env_validate_enabled() {
+  static const bool on = std::getenv("PSCLIP_VALIDATE") != nullptr;
+  return on;
+}
 
 }  // namespace
 
@@ -62,17 +82,27 @@ struct CrossEv {
 /// buffers, per scanbeam.
 struct VattiScratch::Impl {
   BoundTable bt;
-  std::vector<double> ys;         ///< scanbeam schedule
-  std::vector<Active> aet;
+  std::vector<double> ys;          ///< scanbeam schedule
+  // SoA active edge table: cold sweep-status entries + hot x arrays.
+  std::vector<SweepEntry> aet;
+  std::vector<double> xb;          ///< x on the current beam's bottom scanline
+  std::vector<double> xt;          ///< x on the current beam's top scanline
+  std::vector<std::int32_t> pos;   ///< edge id -> AET index (tuned kernel)
   OutPolyPool pool;
   // process_intersections working set (cleared every beam):
   std::vector<CrossEv> events;
   std::vector<std::pair<double, std::int32_t>> keys;  ///< (xt, edge id)
-  std::unordered_map<std::int32_t, std::size_t> pos;
+  std::unordered_map<std::int32_t, std::size_t> posmap;  ///< reference kernel
   std::vector<CrossEv> pending, deferred;
+  // insert_minima batch staging + merge targets (tuned kernel):
+  std::vector<StagedEntry> staged;
+  std::vector<SweepEntry> aet_merge;
+  std::vector<double> xb_merge;
 
   void begin_run() {
     aet.clear();
+    xb.clear();
+    xt.clear();
     pool.reset();
   }
 };
@@ -86,21 +116,51 @@ namespace {
 
 class Sweep {
  public:
-  Sweep(VattiScratch::Impl& sc, BoolOp op)
-      : bt_(sc.bt), op_(op), sc_(sc), aet_(sc.aet), pool_(sc.pool) {}
+  Sweep(VattiScratch::Impl& sc, BoolOp op, SweepKernel kernel,
+        int validate_mode)
+      : bt_(sc.bt),
+        op_(op),
+        kernel_(kernel),
+        sc_(sc),
+        aet_(sc.aet),
+        xb_(sc.xb),
+        xt_(sc.xt),
+        pos_(sc.pos),
+        pool_(sc.pool),
+        validate_(validate_mode < 0 ? env_validate_enabled()
+                                    : validate_mode != 0) {}
 
   PolygonSet run(VattiStats* stats) {
-    scanbeam_ys_into(bt_, sc_.ys);
+    const bool tuned = kernel_ == SweepKernel::kTuned;
+    if (tuned) {
+      scanbeam_ys_merged_into(bt_, sc_.ys);
+      // The flat position index is sized once per run; entries are written
+      // before they are read (an edge's slot is set when it enters the AET),
+      // so no per-run clear is needed.
+      if (pos_.size() < bt_.num_edges()) pos_.resize(bt_.num_edges());
+    } else {
+      scanbeam_ys_into(bt_, sc_.ys);
+    }
+    pool_.reserve(bt_.minima.size());
     const std::vector<double>& ys = sc_.ys;
     std::size_t next_min = 0;
     for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
       const double yb = ys[i];
       const double yt = ys[i + 1];
-      insert_minima(yb, next_min);
+      if (tuned)
+        insert_minima_batched(yb, next_min);
+      else
+        insert_minima_reference(yb, next_min);
       if (validate_) validate_flags(yb, "after-minima");
       process_intersections(yb, yt);
       process_top(yt);
-      for (auto& a : aet_) a.xb = a.xt;
+      // Beam rollover: every entry's bottom x for the next beam is its top
+      // x here. SoA makes this a buffer swap; the reference kernel pays the
+      // per-entry copy the pre-PR AoS layout did.
+      if (tuned)
+        xb_.swap(xt_);
+      else
+        xb_.assign(xt_.begin(), xt_.end());
       if (validate_) validate_flags(yt, "after-beam");
       if (stats) {
         ++stats->scanbeams;
@@ -111,6 +171,9 @@ class Sweep {
     if (stats) {
       stats->edges = static_cast<std::int64_t>(bt_.num_edges());
       stats->intersections = intersections_;
+      stats->sorted_beams = sorted_beams_;
+      stats->pos_rebuilds = pos_rebuilds_;
+      stats->validate_failures = validate_failures_;
     }
     PolygonSet out = pool_.harvest();
     if (stats)
@@ -122,20 +185,30 @@ class Sweep {
  private:
   const BoundTable& bt_;
   BoolOp op_;
+  SweepKernel kernel_;
   VattiScratch::Impl& sc_;
-  std::vector<Active>& aet_;
+  std::vector<SweepEntry>& aet_;
+  std::vector<double>& xb_;
+  std::vector<double>& xt_;
+  std::vector<std::int32_t>& pos_;
   OutPolyPool& pool_;
   std::int64_t intersections_ = 0;
-  bool validate_ = std::getenv("PSCLIP_VALIDATE") != nullptr;
+  std::int64_t sorted_beams_ = 0;
+  std::int64_t pos_rebuilds_ = 0;
+  std::int64_t validate_failures_ = 0;
+  bool validate_ = false;
 
-  /// Debug self-check (enable with PSCLIP_VALIDATE=1): parity flags of
-  /// every AET entry must equal the accumulated flips of the entries to
-  /// its left, and the AET must be x-ordered at the given scanline.
+  /// Debug self-check (VattiScratch::validate or PSCLIP_VALIDATE): parity
+  /// flags of every AET entry must equal the accumulated flips of the
+  /// entries to its left, and the AET must be x-ordered at the given
+  /// scanline. Violations print to stderr and count into
+  /// VattiStats::validate_failures.
   void validate_flags(double y, const char* where) {
     bool s = false, c = false;
     for (std::size_t i = 0; i < aet_.size(); ++i) {
-      const Active& a = aet_[i];
+      const SweepEntry& a = aet_[i];
       if (a.left_s != s || a.left_c != c) {
+        ++validate_failures_;
         std::fprintf(stderr,
                      "[psclip] flag mismatch %s y=%.17g idx=%zu "
                      "have=(%d,%d) want=(%d,%d)\n",
@@ -150,87 +223,243 @@ class Sweep {
       const BoundEdge& ec = edge(aet_[i]);
       const double xp = ep.top.y == y ? ep.top.x : geom::x_at_y(ep.bot, ep.top, y);
       const double xc = ec.top.y == y ? ec.top.x : geom::x_at_y(ec.bot, ec.top, y);
-      if (xc < xp - 1e-12)
+      if (xc < xp - 1e-12) {
+        ++validate_failures_;
         std::fprintf(stderr,
                      "[psclip] order violation %s y=%.17g idx=%zu "
                      "x[%zu]=%.17g > x[%zu]=%.17g\n",
                      where, y, i, i - 1, xp, i, xc);
+      }
     }
   }
 
-  [[nodiscard]] const BoundEdge& edge(const Active& a) const {
+  [[nodiscard]] const BoundEdge& edge(const SweepEntry& a) const {
     return bt_.edges[static_cast<std::size_t>(a.e)];
   }
-  [[nodiscard]] bool flip_s(const Active& a) const { return !edge(a).is_clip; }
-  [[nodiscard]] bool flip_c(const Active& a) const { return edge(a).is_clip; }
+  [[nodiscard]] bool flip_s(const SweepEntry& a) const {
+    return !edge(a).is_clip;
+  }
+  [[nodiscard]] bool flip_c(const SweepEntry& a) const {
+    return edge(a).is_clip;
+  }
   [[nodiscard]] bool res(bool s, bool c) const {
     return geom::in_result(s, c, op_);
   }
 
-  void insert_minima(double yb, std::size_t& next_min) {
+  /// Rewrite the flat position index for AET slots [from, end) after a
+  /// structural edit shifted them. O(1) writes per shifted slot — the shift
+  /// itself already paid the same traffic.
+  void sync_pos(std::size_t from) {
+    for (std::size_t i = from; i < aet_.size(); ++i)
+      pos_[static_cast<std::size_t>(aet_[i].e)] = static_cast<std::int32_t>(i);
+    ++pos_rebuilds_;
+  }
+
+  /// Bisection identical to std::upper_bound (same midpoint sequence) over
+  /// an index range, with the minima comparator: key (x, slope) against an
+  /// element's (xb, dxdy).
+  template <typename XbAt, typename DxdyAt>
+  std::size_t upper_bound_key(double x, double slope, std::size_t n,
+                              XbAt xb_at, DxdyAt dxdy_at) const {
+    std::size_t lo = 0, hi = n;
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const double ex = xb_at(mid);
+      const bool key_less = x != ex ? x < ex : slope < dxdy_at(mid);
+      if (key_less)
+        hi = mid;
+      else
+        lo = mid + 1;
+    }
+    return lo;
+  }
+
+  /// Build the Active-pair fields for one local minimum given the parity
+  /// flags of the entry to its left in the (conceptual) post-insert AET.
+  /// Shared by both insertion strategies so the emission logic cannot
+  /// drift between them.
+  std::pair<SweepEntry, SweepEntry> make_min_pair(const LocalMin& lm, bool ls,
+                                                  bool lc) {
+    const auto eL = lm.edge_left;
+    const auto eR = lm.edge_right;
+    const bool fs = !bt_.edges[static_cast<std::size_t>(eL)].is_clip;
+    const bool fc = !fs;
+    const bool outside = res(ls, lc);            // sector around the min
+    const bool between = res(ls ^ fs, lc ^ fc);  // sector above, inside
+
+    std::int32_t poly = -1;
+    if (outside != between) {
+      // Contributing minimum. If the wedge above is interior this starts
+      // an exterior contour (left edge feeds the front); if the
+      // surroundings are interior it opens a hole (roles swap).
+      poly = between ? pool_.create(lm.pt, /*hole=*/false, eL, eR)
+                     : pool_.create(lm.pt, /*hole=*/true, eR, eL);
+    }
+
+    SweepEntry left;
+    left.e = eL;
+    left.left_s = ls;
+    left.left_c = lc;
+    left.poly = poly;
+    SweepEntry right;
+    right.e = eR;
+    right.left_s = ls ^ fs;
+    right.left_c = lc ^ fc;
+    right.poly = poly;
+    return {left, right};
+  }
+
+  /// Pre-PR insertion strategy: one O(|AET|) mid-vector insert per minimum.
+  void insert_minima_reference(double yb, std::size_t& next_min) {
     while (next_min < bt_.minima.size() &&
            bt_.minima[next_min].pt.y == yb) {
       const LocalMin& lm = bt_.minima[next_min++];
-      const auto eL = lm.edge_left;
-      const auto eR = lm.edge_right;
       const double slope_l =
-          bt_.edges[static_cast<std::size_t>(eL)].dxdy;
+          bt_.edges[static_cast<std::size_t>(lm.edge_left)].dxdy;
 
       // Position by (x at this scanline, then slope).
-      const auto pos_it = std::upper_bound(
-          aet_.begin(), aet_.end(), std::make_pair(lm.pt.x, slope_l),
-          [this](const std::pair<double, double>& key, const Active& a) {
-            if (key.first != a.xb) return key.first < a.xb;
-            return key.second < edge(a).dxdy;
-          });
-      const std::size_t pos =
-          static_cast<std::size_t>(pos_it - aet_.begin());
+      const std::size_t pos = upper_bound_key(
+          lm.pt.x, slope_l, aet_.size(), [&](std::size_t i) { return xb_[i]; },
+          [&](std::size_t i) { return edge(aet_[i]).dxdy; });
 
       bool ls = false, lc = false;
       if (pos > 0) {
-        const Active& prev = aet_[pos - 1];
+        const SweepEntry& prev = aet_[pos - 1];
         ls = prev.left_s ^ flip_s(prev);
         lc = prev.left_c ^ flip_c(prev);
       }
-      const bool fs = !bt_.edges[static_cast<std::size_t>(eL)].is_clip;
-      const bool fc = !fs;
-      const bool outside = res(ls, lc);              // sector around the min
-      const bool between = res(ls ^ fs, lc ^ fc);    // sector above, inside
-
-      std::int32_t poly = -1;
-      if (outside != between) {
-        // Contributing minimum. If the wedge above is interior this starts
-        // an exterior contour (left edge feeds the front); if the
-        // surroundings are interior it opens a hole (roles swap).
-        poly = between ? pool_.create(lm.pt, /*hole=*/false, eL, eR)
-                       : pool_.create(lm.pt, /*hole=*/true, eR, eL);
-      }
-
-      Active left;
-      left.e = eL;
-      left.xb = lm.pt.x;
-      left.left_s = ls;
-      left.left_c = lc;
-      left.poly = poly;
-      Active right;
-      right.e = eR;
-      right.xb = lm.pt.x;
-      right.left_s = ls ^ fs;
-      right.left_c = lc ^ fc;
-      right.poly = poly;
+      const auto [left, right] = make_min_pair(lm, ls, lc);
       aet_.insert(aet_.begin() + static_cast<std::ptrdiff_t>(pos),
                   {left, right});
+      xb_.insert(xb_.begin() + static_cast<std::ptrdiff_t>(pos), 2, lm.pt.x);
     }
   }
 
-  [[nodiscard]] double top_x(const Active& a, double yt) const {
+  /// Batched insertion strategy: stage every minimum of this scanline, then
+  /// splice them into the AET with ONE merge pass instead of one O(|AET|)
+  /// memmove each. Each minimum still bisects the same conceptual sequence
+  /// the reference kernel searches (old entries + minima staged so far), so
+  /// positions, neighbour flags and pool-creation order are identical.
+  void insert_minima_batched(double yb, std::size_t& next_min) {
+    if (next_min >= bt_.minima.size() || bt_.minima[next_min].pt.y != yb)
+      return;
+    std::vector<StagedEntry>& nb = sc_.staged;
+    nb.clear();
+    const std::size_t old_n = aet_.size();
+
+    // Resolve a merged-view index to its element: staged entry t sits at
+    // merged index nb[t].base + t (bases are non-decreasing, so the merged
+    // indices are strictly increasing).
+    auto resolve = [&](std::size_t idx) -> std::pair<bool, std::size_t> {
+      // Returns {is_staged, index-into-nb-or-old}.
+      std::size_t lo = 0, hi = nb.size();
+      while (lo < hi) {  // first t with nb[t].base + t >= idx
+        const std::size_t mid = lo + (hi - lo) / 2;
+        if (nb[mid].base + mid >= idx)
+          hi = mid;
+        else
+          lo = mid + 1;
+      }
+      if (lo < nb.size() && nb[lo].base + lo == idx) return {true, lo};
+      return {false, idx - lo};  // lo staged entries precede idx
+    };
+
+    while (next_min < bt_.minima.size() &&
+           bt_.minima[next_min].pt.y == yb) {
+      const LocalMin& lm = bt_.minima[next_min++];
+      const double slope_l =
+          bt_.edges[static_cast<std::size_t>(lm.edge_left)].dxdy;
+
+      // Bisect the merged view (old AET + staged pairs) — probe-for-probe
+      // the same search the reference kernel runs on its physical array.
+      const std::size_t p = upper_bound_key(
+          lm.pt.x, slope_l, old_n + nb.size(),
+          [&](std::size_t i) {
+            const auto [st, k] = resolve(i);
+            return st ? nb[k].x : xb_[k];
+          },
+          [&](std::size_t i) {
+            const auto [st, k] = resolve(i);
+            return st ? edge(nb[k].ent).dxdy : edge(aet_[k]).dxdy;
+          });
+
+      bool ls = false, lc = false;
+      if (p > 0) {
+        const auto [st, k] = resolve(p - 1);
+        const SweepEntry& prev = st ? nb[k].ent : aet_[k];
+        ls = prev.left_s ^ flip_s(prev);
+        lc = prev.left_c ^ flip_c(prev);
+      }
+      const auto [left, right] = make_min_pair(lm, ls, lc);
+
+      // Stage the pair at merged position p: staged entries before p keep
+      // their slots, the rest shift right by two.
+      std::size_t before = 0;  // staged entries strictly left of p
+      while (before < nb.size() && nb[before].base + before < p) ++before;
+      const std::size_t base = p - before;
+      nb.insert(nb.begin() + static_cast<std::ptrdiff_t>(before),
+                {StagedEntry{base, left, lm.pt.x},
+                 StagedEntry{base, right, lm.pt.x}});
+    }
+
+    // One merge pass: splice the staged pairs (sorted by base) into the
+    // AET and its bottom-x array.
+    std::vector<SweepEntry>& am = sc_.aet_merge;
+    std::vector<double>& xm = sc_.xb_merge;
+    am.clear();
+    xm.clear();
+    am.reserve(old_n + nb.size());
+    xm.reserve(old_n + nb.size());
+    std::size_t oi = 0;
+    for (const StagedEntry& ne : nb) {
+      for (; oi < ne.base; ++oi) {
+        am.push_back(aet_[oi]);
+        xm.push_back(xb_[oi]);
+      }
+      am.push_back(ne.ent);
+      xm.push_back(ne.x);
+    }
+    for (; oi < old_n; ++oi) {
+      am.push_back(aet_[oi]);
+      xm.push_back(xb_[oi]);
+    }
+    const std::size_t first_touched = nb.front().base;
+    aet_.swap(am);
+    xb_.swap(xm);
+    sync_pos(first_touched);
+  }
+
+  [[nodiscard]] double top_x(const SweepEntry& a, double yt) const {
     const BoundEdge& e = edge(a);
     if (e.top.y == yt) return e.top.x;
     return geom::x_at_y(e.bot, e.top, yt);
   }
 
   void process_intersections(double yb, double yt) {
-    for (auto& a : aet_) a.xt = top_x(a, yt);
+    const bool tuned = kernel_ == SweepKernel::kTuned;
+    const std::size_t n = aet_.size();
+    xt_.resize(n);
+    // Fill the top-x array and detect the crossing-free common case in the
+    // same streaming pass: the AET left the previous beam sorted by that
+    // beam's top x, so between beams it is *nearly* sorted — most beams
+    // have no adjacent inversion at all. The adjacent strict-< checks are
+    // exactly the insertion sort's swap condition, so "no inversion here"
+    // is precisely "the sort would perform zero swaps" (NaN included: both
+    // comparisons are false, neither path swaps).
+    bool any_inversion = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      xt_[i] = top_x(aet_[i], yt);
+      if (i > 0 && xt_[i] < xt_[i - 1]) any_inversion = true;
+    }
+    if (!any_inversion) {
+      ++sorted_beams_;
+      // Zero swaps => zero crossings => nothing to emit. Only the tuned
+      // kernel gets to skip the machinery; the reference kernel still runs
+      // the full pre-PR path (whose insertion sort performs zero swaps and
+      // produces zero events), keeping its cost profile honest while the
+      // counter stays comparable across kernels.
+      if (tuned) return;
+    }
 
     // Phase 1 — enumerate the beam's crossings as the inversions between
     // the bottom and top x-orders (Lemma 4), on a scratch copy so that no
@@ -243,8 +472,8 @@ class Sweep {
     {
       auto& ks = sc_.keys;  // (xt, edge id)
       ks.clear();
-      ks.reserve(aet_.size());
-      for (const auto& a : aet_) ks.emplace_back(a.xt, a.e);
+      ks.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) ks.emplace_back(xt_[i], aet_[i].e);
       for (std::size_t i = 1; i < ks.size(); ++i) {
         std::size_t j = i;
         while (j > 0 && ks[j].first < ks[j - 1].first) {
@@ -287,10 +516,33 @@ class Sweep {
         events.begin(), events.end(),
         [](const CrossEv& a, const CrossEv& b) { return a.p.y < b.p.y; });
 
-    auto& pos = sc_.pos;
-    pos.clear();
-    pos.reserve(aet_.size() * 2);
-    for (std::size_t i = 0; i < aet_.size(); ++i) pos[aet_[i].e] = i;
+    // Position lookup: the tuned kernel's flat index is already valid (it
+    // is maintained across beams); the reference kernel rebuilds its hash
+    // map here, once per crossing beam, as the pre-PR code did.
+    if (!tuned) {
+      auto& pos = sc_.posmap;
+      pos.clear();
+      pos.reserve(n * 2);
+      for (std::size_t i = 0; i < n; ++i) pos[aet_[i].e] = i;
+    }
+    auto pos_of = [&](std::int32_t e) -> std::size_t {
+      return tuned ? static_cast<std::size_t>(
+                         pos_[static_cast<std::size_t>(e)])
+                   : sc_.posmap[e];
+    };
+    auto swap_entries = [&](std::size_t iu, std::size_t iv) {
+      std::swap(aet_[iu], aet_[iv]);
+      std::swap(xt_[iu], xt_[iv]);
+      if (tuned) {
+        pos_[static_cast<std::size_t>(aet_[iu].e)] =
+            static_cast<std::int32_t>(iu);
+        pos_[static_cast<std::size_t>(aet_[iv].e)] =
+            static_cast<std::int32_t>(iv);
+      } else {
+        sc_.posmap[aet_[iu].e] = iu;
+        sc_.posmap[aet_[iv].e] = iv;
+      }
+    };
 
     std::vector<CrossEv>& pending = sc_.pending;
     pending.swap(events);  // hand over the enumerated crossings, no copy
@@ -299,14 +551,12 @@ class Sweep {
       bool progress = false;
       deferred.clear();
       for (const CrossEv& ev : pending) {
-        std::size_t iu = pos[ev.eu];
-        std::size_t iv = pos[ev.ev];
+        std::size_t iu = pos_of(ev.eu);
+        std::size_t iv = pos_of(ev.ev);
         if (iu > iv) std::swap(iu, iv);  // roles flip with current order
         if (iu + 1 == iv) {
           crossing_event(iu, iv, ev.p);
-          std::swap(aet_[iu], aet_[iv]);
-          pos[aet_[iu].e] = iu;
-          pos[aet_[iv].e] = iv;
+          swap_entries(iu, iv);
           progress = true;
         } else {
           deferred.push_back(ev);
@@ -321,13 +571,11 @@ class Sweep {
         // emission at a degenerate point, but contours stay attached and
         // close (dropping emissions here loses whole output rings).
         for (const CrossEv& ev : pending) {
-          std::size_t iu = pos[ev.eu];
-          std::size_t iv = pos[ev.ev];
+          std::size_t iu = pos_of(ev.eu);
+          std::size_t iv = pos_of(ev.ev);
           if (iu > iv) std::swap(iu, iv);
           crossing_event(iu, iv, ev.p);
-          std::swap(aet_[iu], aet_[iv]);
-          pos[aet_[iu].e] = iu;
-          pos[aet_[iv].e] = iv;
+          swap_entries(iu, iv);
           bool s = false, c = false;
           for (auto& a : aet_) {
             a.left_s = s;
@@ -346,15 +594,24 @@ class Sweep {
   /// per-scanbeam processing (seq/sweep_events.hpp). Does NOT swap the
   /// entries (caller does).
   void crossing_event(std::size_t ui, std::size_t vi, const Point& p) {
-    Active& u = aet_[ui];
-    Active& v = aet_[vi];
+    SweepEntry& u = aet_[ui];
+    SweepEntry& v = aet_[vi];
     ++intersections_;
     emit_crossing(pool_, u, edge(u).is_clip, v, edge(v).is_clip, p, op_);
   }
 
+  /// Erase AET slot i, keeping the top-x array aligned (the beam rollover
+  /// swap hands it to the next beam as xb). The flat position index is
+  /// resynced by the caller after the whole structural edit.
+  void erase_at(std::size_t i) {
+    aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(i));
+    xt_.erase(xt_.begin() + static_cast<std::ptrdiff_t>(i));
+  }
+
   void process_top(double yt) {
+    const bool tuned = kernel_ == SweepKernel::kTuned;
     for (std::size_t i = 0; i < aet_.size();) {
-      Active& a = aet_[i];
+      SweepEntry& a = aet_[i];
       const BoundEdge e = edge(a);  // copy: aet_ may be mutated below
       if (e.top.y != yt) {
         ++i;
@@ -367,6 +624,9 @@ class Sweep {
         if (outside != inside && a.poly >= 0)
           pool_.extend_reassign(a.poly, a.e, e.top, e.next);
         a.e = e.next;
+        if (tuned)
+          pos_[static_cast<std::size_t>(e.next)] =
+              static_cast<std::int32_t>(i);
         ++i;
         continue;
       }
@@ -379,7 +639,8 @@ class Sweep {
       }
       if (j == aet_.size()) {
         // No partner (degenerate input slipped through): drop the edge.
-        aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(i));
+        erase_at(i);
+        if (tuned) sync_pos(i);
         continue;
       }
       // In general position the partner is adjacent. If ties in xt left
@@ -393,8 +654,9 @@ class Sweep {
       const bool between = res(a.left_s ^ flip_s(a), a.left_c ^ flip_c(a));
       if (outside != between && a.poly >= 0 && aet_[j].poly >= 0)
         pool_.close(a.poly, a.e, aet_[j].poly, aet_[j].e, e.top);
-      aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(j));
-      aet_.erase(aet_.begin() + static_cast<std::ptrdiff_t>(i));
+      erase_at(j);
+      erase_at(i);
+      if (tuned) sync_pos(i);
       // i now indexes the entry after the removed pair's position.
     }
   }
@@ -403,7 +665,8 @@ class Sweep {
 }  // namespace
 
 PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
-                      BoolOp op, VattiStats* stats, VattiScratch* scratch) {
+                      BoolOp op, VattiStats* stats, VattiScratch* scratch,
+                      SweepKernel kernel) {
   par::fault::inject(par::fault::Site::kVattiSweep);
   PolygonSet s = geom::cleaned(subject);
   PolygonSet c = geom::cleaned(clip);
@@ -414,8 +677,16 @@ PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
   build_bounds_into(sc.impl->bt, s, c);
   sc.impl->begin_run();
   ++sc.runs;
-  Sweep sweep(*sc.impl, op);
-  PolygonSet out = sweep.run(stats);
+  obs::TraceSink* const sink = obs::global_sink();
+  VattiStats sink_stats;
+  VattiStats* st = stats ? stats : (sink ? &sink_stats : nullptr);
+  Sweep sweep(*sc.impl, op, kernel, sc.validate);
+  PolygonSet out = sweep.run(st);
+  if (sink && st) {
+    sink->add_counter("vatti.scanbeams", st->scanbeams);
+    sink->add_counter("vatti.sorted_beams", st->sorted_beams);
+    sink->add_counter("vatti.pos_rebuilds", st->pos_rebuilds);
+  }
   if (par::fault::corrupt(par::fault::Site::kVattiSweep)) {
     const double nan = std::numeric_limits<double>::quiet_NaN();
     out.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});

@@ -17,6 +17,38 @@ struct VattiStats {
   std::int64_t intersections = 0;   ///< k: pairwise edge crossings handled
   std::int64_t output_vertices = 0; ///< vertices in the result contours
   std::int64_t max_aet = 0;         ///< peak active edge table size
+  /// Beams whose AET was already in top-scanline x-order (no crossings):
+  /// the cache-conscious kernel detects this in one O(|AET|) scan and skips
+  /// the whole intersection machinery. The counter is maintained by both
+  /// kernels (the reference kernel pays the full path regardless), so the
+  /// hit rate is comparable across them.
+  std::int64_t sorted_beams = 0;
+  /// Suffix refreshes of the flat edge-id -> AET-index position array
+  /// (tuned kernel only; one per structural AET edit batch, i.e. per
+  /// minima merge and per local-maximum removal). The pre-PR kernel
+  /// instead rebuilt a hash map once per beam with crossings.
+  std::int64_t pos_rebuilds = 0;
+  /// AET invariant violations seen by the validation hook (see
+  /// VattiScratch::validate). Always 0 on a correct sweep; tests run the
+  /// whole fuzz corpus with validation forced on and assert it stays 0.
+  std::int64_t validate_failures = 0;
+};
+
+/// Which per-beam maintenance strategy the sweep uses. Both produce
+/// byte-identical output on every input (asserted across the fuzz corpus);
+/// kReference reproduces the pre-optimization cost profile and exists for
+/// the bench_sweep_kernel ablation gate and the identity tests.
+enum class SweepKernel : std::uint8_t {
+  /// Cache-conscious kernel (default): flat position index maintained
+  /// incrementally, O(|AET|) already-sorted beam detection, batched
+  /// local-minima insertion via one merge pass, SoA beam-local x arrays
+  /// rolled over with an O(1) swap, and a scanbeam schedule built by
+  /// k-way merging the per-bound sorted y-lists.
+  kTuned = 0,
+  /// Pre-PR maintenance strategy: per-beam std::unordered_map position
+  /// rebuild, one O(|AET|) mid-vector insert per local minimum, no sorted
+  /// fast path, per-entry x copy at beam end, sort+unique schedule.
+  kReference,
 };
 
 /// Reusable scratch for vatti_clip: the active edge table, the per-scanbeam
@@ -37,6 +69,14 @@ struct VattiScratch {
 
   std::uint64_t runs = 0;  ///< vatti_clip calls that reused this scratch
 
+  /// AET invariant checker (parity flags must equal the accumulated flips
+  /// to the left; the AET must be x-ordered at every scanline). Violations
+  /// print to stderr and count into VattiStats::validate_failures.
+  ///   -1  inherit the PSCLIP_VALIDATE environment variable (read once per
+  ///       process, not per sweep) — the default,
+  ///    0  force off,  1  force on (deterministic hook for tests).
+  int validate = -1;
+
   struct Impl;  // buffer bundle, private to vatti.cpp
   std::unique_ptr<Impl> impl;
 };
@@ -52,10 +92,13 @@ struct VattiScratch {
 ///
 /// `scratch`, when given, supplies the sweep's working buffers and is
 /// reset internally — pass a per-worker instance to amortize allocations
-/// across calls; results are identical either way.
+/// across calls; results are identical either way. `kernel` selects the
+/// per-beam maintenance strategy (see SweepKernel); both settings produce
+/// byte-identical output.
 geom::PolygonSet vatti_clip(const geom::PolygonSet& subject,
                             const geom::PolygonSet& clip, geom::BoolOp op,
                             VattiStats* stats = nullptr,
-                            VattiScratch* scratch = nullptr);
+                            VattiScratch* scratch = nullptr,
+                            SweepKernel kernel = SweepKernel::kTuned);
 
 }  // namespace psclip::seq

@@ -1,7 +1,10 @@
 // Schema contract for the bench harness JSON reports: every report written
 // through bench::JsonReport carries "schema_version" (the gate scripts and
-// the perf-smoke CI job key on it), scalar fields and row arrays survive
-// round-tripping, and a caller-supplied version is not duplicated.
+// the perf-smoke CI job keys on it), scalar fields and row arrays survive
+// round-tripping, and a caller-supplied version is not duplicated. Also
+// pins the PhaseTimes wall/cpu unit split the schema-2 reports expose:
+// per-slab phase sums must land in the *_cpu fields and may never exceed
+// them, and single-slab runs may not report more cpu clip time than wall.
 
 #include <gtest/gtest.h>
 
@@ -9,6 +12,10 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "geom/bool_op.hpp"
+#include "mt/algorithm2.hpp"
+#include "parallel/thread_pool.hpp"
 
 namespace psclip {
 namespace {
@@ -75,6 +82,52 @@ TEST(BenchJson, CallerVersionIsNotDuplicated) {
   std::remove(path.c_str());
   EXPECT_EQ(count_key(doc, "schema_version"), 1u) << doc;
   EXPECT_NE(doc.find("\"schema_version\": 7"), std::string::npos) << doc;
+}
+
+// The schema-1 reports mixed wall-clock section times and per-worker cpu
+// sums in one column, which made "clip" exceed the run total at slabs = 1
+// (indexed_clip_ms 333 > indexed_ms 300 in the committed report). The
+// schema-2 contract: wall fields are calling-thread sections, cpu fields
+// are per-worker sums, and the two never get mixed — checked here against
+// a real instrumented slab_clip run.
+TEST(BenchJson, PhaseWallCpuInvariants) {
+  const auto pair = data::synthetic_pair(77, 1200);
+  par::ThreadPool pool(4);
+
+  for (const unsigned slabs : {1u, 4u, 8u}) {
+    SCOPED_TRACE("slabs=" + std::to_string(slabs));
+    mt::Alg2Options o;
+    o.slabs = slabs;
+    mt::Alg2Stats st;
+    (void)mt::slab_clip(pair.subject, pair.clip, geom::BoolOp::kUnion, pool,
+                        o, &st);
+
+    // clip_cpu is exactly the per-slab clip-time sum (same summation
+    // order, so bitwise equal — this is what "phase sums land in the cpu
+    // column" means).
+    double slab_sum = 0.0;
+    for (const auto& s : st.slabs) slab_sum += s.seconds;
+    EXPECT_DOUBLE_EQ(st.phases.clip_cpu, slab_sum);
+
+    // Per-slab phase sums never exceed the cpu totals.
+    EXPECT_LE(slab_sum, st.phases.total_cpu());
+
+    // partition_cpu adds the slabs' rectangle clipping on top of the
+    // caller's setup section, so cpu >= wall for the partition phase.
+    EXPECT_GE(st.phases.partition_cpu, st.phases.partition);
+
+    // merge runs on the caller only: wall and cpu coincide.
+    EXPECT_DOUBLE_EQ(st.phases.merge_cpu, st.phases.merge);
+
+    // Every slab's clip section ran strictly inside the parallel region,
+    // so one slab's cpu time cannot exceed the region's wall time.
+    if (slabs == 1) EXPECT_LE(st.phases.clip_cpu, st.phases.clip);
+
+    // Wall phases are sections of the same run: each is <= the total.
+    EXPECT_LE(st.phases.partition, st.phases.total());
+    EXPECT_LE(st.phases.clip, st.phases.total());
+    EXPECT_LE(st.phases.merge, st.phases.total());
+  }
 }
 
 TEST(BenchJson, EmptyReportIsValidObject) {

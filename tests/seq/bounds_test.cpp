@@ -98,6 +98,44 @@ TEST(Bounds, ScanbeamYsSortedDistinct) {
   }
 }
 
+// The tuned sweep kernel builds the scanbeam schedule by k-way merging the
+// per-bound sorted y-lists; the reference kernel sorts all endpoints. The
+// byte-identity contract between the kernels starts here: the two builders
+// must produce the *identical* vector (bit-for-bit, same length).
+TEST(Bounds, MergedScheduleEqualsSortUnique) {
+  const struct {
+    PolygonSet a, b;
+  } cases[] = {
+      {geom::make_polygon({{0, 0}, {4, 1}, {2, 5}}), {}},
+      {test::random_polygon(33, 25, 0, 0, 10),
+       test::random_polygon(34, 25, 2, 1, 9)},
+      {test::random_polygon(55, 64, 0, 0, 10),
+       test::random_polygon(56, 41, -2, 3, 12)},
+      // Shared ordinates across inputs (duplicates across bounds).
+      {geom::make_polygon({{0, 0}, {6, 0.5}, {3, 4}}),
+       geom::make_polygon({{1, 0}, {7, 0.5}, {4, 4}})},
+      {{}, {}},  // empty table
+  };
+  for (std::size_t i = 0; i < std::size(cases); ++i) {
+    SCOPED_TRACE("case " + std::to_string(i));
+    const BoundTable bt = table_for(cases[i].a, cases[i].b);
+    std::vector<double> sorted, merged;
+    scanbeam_ys_into(bt, sorted);
+    scanbeam_ys_merged_into(bt, merged);
+    ASSERT_EQ(merged.size(), sorted.size());
+    for (std::size_t j = 0; j < sorted.size(); ++j)
+      EXPECT_EQ(merged[j], sorted[j]) << "y index " << j;
+  }
+}
+
+// Reused buffers must be indistinguishable from fresh ones.
+TEST(Bounds, MergedScheduleBufferReuse) {
+  std::vector<double> ys{1.0, 2.0, 3.0, 4.0, 5.0};
+  const BoundTable bt = table_for(test::random_polygon(21, 36, 0, 0, 10));
+  scanbeam_ys_merged_into(bt, ys);
+  EXPECT_EQ(ys, scanbeam_ys(bt));
+}
+
 TEST(Bounds, DegenerateContoursSkipped) {
   PolygonSet p;
   p.add({{0, 0}, {1, 1}});          // too small
