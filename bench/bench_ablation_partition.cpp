@@ -84,24 +84,30 @@ int main(int argc, char** argv) {
       static_cast<long long>(subject.num_vertices() + clip.num_vertices());
   std::printf("workload: 2 x polygon_field(%d contours), %lld vertices\n\n",
               field_count, total_verts);
-  std::printf("%6s | %14s %14s %8s | %12s %12s\n", "slabs", "touched(idx)",
-              "touched(bcast)", "ratio", "idx (ms)", "bcast (ms)");
+  std::printf("%6s | %14s %14s %14s | %12s %12s %12s\n", "slabs",
+              "touched(fus)", "touched(idx)", "touched(bcast)", "fused (ms)",
+              "idx (ms)", "bcast (ms)");
 
   bench::JsonReport report;
   report.field("bench", std::string("ablation_partition"));
   report.field("workload", std::string("polygon_field x2"));
   report.field("contours_per_layer", static_cast<long long>(field_count));
   report.field("total_vertices", total_verts);
+  report.field("pool_threads", static_cast<long long>(pool.size()));
 
   bool gate_ok = true;
   for (const unsigned slabs : {1u, 4u, 8u, 16u}) {
-    mt::Alg2Options oi, ob;
-    oi.slabs = ob.slabs = slabs;
+    mt::Alg2Options of, oi, ob;
+    of.slabs = oi.slabs = ob.slabs = slabs;
+    of.partition = mt::Alg2Partition::kFused;
     oi.partition = mt::Alg2Partition::kIndexed;
     ob.partition = mt::Alg2Partition::kBroadcast;
 
-    mt::Alg2Stats si, sb;
-    geom::PolygonSet ri, rb;
+    mt::Alg2Stats sf, si, sb;
+    geom::PolygonSet rf, ri, rb;
+    const double t_fused = bench::time_median3([&] {
+      rf = mt::slab_clip(subject, clip, geom::BoolOp::kUnion, pool, of, &sf);
+    });
     const double t_idx = bench::time_median3([&] {
       ri = mt::slab_clip(subject, clip, geom::BoolOp::kUnion, pool, oi, &si);
     });
@@ -109,28 +115,39 @@ int main(int argc, char** argv) {
       rb = mt::slab_clip(subject, clip, geom::BoolOp::kUnion, pool, ob, &sb);
     });
 
-    long long touched_idx = 0, touched_bcast = 0;
+    long long touched_fused = 0, touched_idx = 0, touched_bcast = 0;
+    for (const auto& sl : sf.slabs) touched_fused += sl.touched_edges;
     for (const auto& sl : si.slabs) touched_idx += sl.touched_edges;
     for (const auto& sl : sb.slabs) touched_bcast += sl.touched_edges;
     const double ratio =
         touched_bcast > 0
             ? static_cast<double>(touched_idx) / static_cast<double>(touched_bcast)
             : 1.0;
-    std::printf("%6u | %14lld %14lld %8.3f | %12.3f %12.3f\n", slabs,
-                touched_idx, touched_bcast, ratio, t_idx * 1e3, t_bcast * 1e3);
+    std::printf("%6u | %14lld %14lld %14lld | %12.3f %12.3f %12.3f\n", slabs,
+                touched_fused, touched_idx, touched_bcast, t_fused * 1e3,
+                t_idx * 1e3, t_bcast * 1e3);
 
     report.row("slab_partition");
     report.cell("slabs", static_cast<long long>(slabs));
+    report.cell("touched_fused", touched_fused);
     report.cell("touched_indexed", touched_idx);
     report.cell("touched_broadcast", touched_bcast);
     report.cell("touched_ratio", ratio);
+    report.cell("fused_ms", t_fused * 1e3);
     report.cell("indexed_ms", t_idx * 1e3);
     report.cell("broadcast_ms", t_bcast * 1e3);
     // Phase breakdown of each path (from the instrumented Alg2Stats of the
     // last of the three timed runs). Wall = calling-thread section times
-    // (sum ≈ the run's elapsed time); cpu = per-worker phase time summed
-    // across workers (clip_cpu can exceed clip_wall p-fold). Schema 1 had
-    // one column mixing both units.
+    // (sum ≈ the run's elapsed time); cpu = thread-CPU-clock phase time
+    // summed across workers (clip_cpu can approach clip_wall × cores).
+    // Schema 1 had one column mixing both units; schema 2 filled the cpu
+    // side from wall timers inside the tasks.
+    report.cell("fused_partition_wall_ms", sf.phases.partition * 1e3);
+    report.cell("fused_clip_wall_ms", sf.phases.clip * 1e3);
+    report.cell("fused_merge_wall_ms", sf.phases.merge * 1e3);
+    report.cell("fused_partition_cpu_ms", sf.phases.partition_cpu * 1e3);
+    report.cell("fused_clip_cpu_ms", sf.phases.clip_cpu * 1e3);
+    report.cell("fused_merge_cpu_ms", sf.phases.merge_cpu * 1e3);
     report.cell("indexed_partition_wall_ms", si.phases.partition * 1e3);
     report.cell("indexed_clip_wall_ms", si.phases.clip * 1e3);
     report.cell("indexed_merge_wall_ms", si.phases.merge * 1e3);
@@ -144,9 +161,10 @@ int main(int argc, char** argv) {
     report.cell("broadcast_clip_cpu_ms", sb.phases.clip_cpu * 1e3);
     report.cell("broadcast_merge_cpu_ms", sb.phases.merge_cpu * 1e3);
 
-    if (!identical(ri, rb)) {
+    if (!identical(ri, rb) || !identical(rf, ri)) {
       std::fprintf(stderr,
-                   "FAIL: indexed and broadcast outputs differ at %u slabs\n",
+                   "FAIL: fused/indexed/broadcast outputs differ at %u "
+                   "slabs\n",
                    slabs);
       gate_ok = false;
     }

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <functional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -33,7 +34,14 @@ inline const char* json_path(int argc, char** argv) {
 ///   2: per-phase timings split into *_wall_ms / *_cpu_ms (schema 1
 ///      reported per-worker phase sums in the same column as wall times,
 ///      so "clip" could exceed the run total at slabs = 1).
-inline constexpr long long kReportSchemaVersion = 2;
+///   3: *_cpu_ms fields now come from the thread CPU clock
+///      (par::ThreadCpuTimer) instead of wall timers inside the parallel
+///      tasks — schema 2 double-charged time a worker was descheduled, the
+///      artifact behind the reported clip-CPU inflation under slabbing.
+///      Every report also carries "hw_threads" (host hardware concurrency)
+///      so scaling numbers can be interpreted on the machine that made
+///      them; benches that own a pool additionally stamp "pool_threads".
+inline constexpr long long kReportSchemaVersion = 3;
 
 /// Append-only JSON object writer for bench results — scalar fields plus
 /// named arrays of flat row objects, enough for "one table = one array"
@@ -71,11 +79,18 @@ class JsonReport {
     }
     std::fprintf(f, "{\n");
     bool first = true;
-    bool have_version = false;
-    for (const auto& [k, v] : fields_)
+    bool have_version = false, have_hw = false;
+    for (const auto& [k, v] : fields_) {
       if (k == "schema_version") have_version = true;
+      if (k == "hw_threads") have_hw = true;
+    }
     if (!have_version) {
       std::fprintf(f, "  \"schema_version\": %lld", kReportSchemaVersion);
+      first = false;
+    }
+    if (!have_hw) {
+      std::fprintf(f, "%s  \"hw_threads\": %u", first ? "" : ",\n",
+                   std::thread::hardware_concurrency());
       first = false;
     }
     for (const auto& [k, v] : fields_) {

@@ -28,45 +28,57 @@ bool has_horizontal_edges(const PolygonSet& p) {
   return false;
 }
 
-int remove_horizontals(PolygonSet& p, double magnitude) {
+int remove_horizontals(Contour& c, double magnitude) {
   int moved = 0;
+  const std::size_t n = c.size();
   // Repeated passes: a nudge can in principle create a new horizontal edge
-  // with the *next* neighbour, so iterate to a fixpoint (bounded).
+  // with the *next* neighbour, so iterate to a fixpoint (bounded). The
+  // perturbation is entirely per-contour — the nudge quantum comes from the
+  // contour's own bbox and the salt from (pass, vertex index) — so a
+  // contour perturbs identically whether it travels alone (the fused slab
+  // partition prepares contours one by one), in a whole input set, or in a
+  // replicated multiset copy. The fused path's bit-identity with the
+  // materializing path rests on exactly this independence.
   for (int pass = 0; pass < 64; ++pass) {
     bool changed = false;
-    for (auto& c : p.contours) {
-      const std::size_t n = c.size();
-      // The nudge quantum is a per-contour quantity so the same contour
-      // perturbs identically regardless of its neighbours in the set.
-      const BBox cb = bounds(c);
-      const double step =
-          std::fmax(cb.height(), 1.0) * std::fmax(magnitude, 1e-15);
-      for (std::size_t i = 1; i <= n; ++i) {
-        Point& prev = c[i - 1];
-        Point& cur = c[i % n];
-        // Near-horizontal edges (|dy| below the nudge quantum, typically
-        // floating-point noise in upstream intersection points) are as
-        // degenerate for the sweep as exactly horizontal ones: their
-        // slope explodes and the scanbeam between their endpoints is
-        // thinner than the arithmetic can resolve. Perturb both kinds.
-        if (std::fabs(prev.y - cur.y) < step) {
-          cur.y = prev.y;
-          // Deterministic per (pass, vertex-in-contour) so that the same
-          // contour perturbs identically regardless of which polygon set
-          // it travels in (the multiset clipper's duplicate elimination
-          // relies on replicated pairs producing identical output).
-          const int salt =
-              1 + static_cast<int>((static_cast<std::size_t>(pass) * 7 +
-                                    i * 13) %
-                                   17);
-          cur.y += step * static_cast<double>(salt);
-          ++moved;
-          changed = true;
-        }
+    const BBox cb = bounds(c);
+    const double step =
+        std::fmax(cb.height(), 1.0) * std::fmax(magnitude, 1e-15);
+    for (std::size_t i = 1; i <= n; ++i) {
+      Point& prev = c[i - 1];
+      Point& cur = c[i % n];
+      // Near-horizontal edges (|dy| below the nudge quantum, typically
+      // floating-point noise in upstream intersection points) are as
+      // degenerate for the sweep as exactly horizontal ones: their
+      // slope explodes and the scanbeam between their endpoints is
+      // thinner than the arithmetic can resolve. Perturb both kinds.
+      if (std::fabs(prev.y - cur.y) < step) {
+        cur.y = prev.y;
+        // Deterministic per (pass, vertex-in-contour) so that the same
+        // contour perturbs identically regardless of which polygon set
+        // it travels in (the multiset clipper's duplicate elimination
+        // relies on replicated pairs producing identical output).
+        const int salt =
+            1 + static_cast<int>((static_cast<std::size_t>(pass) * 7 +
+                                  i * 13) %
+                                 17);
+        cur.y += step * static_cast<double>(salt);
+        ++moved;
+        changed = true;
       }
     }
     if (!changed) return moved;
   }
+  return moved;
+}
+
+int remove_horizontals(PolygonSet& p, double magnitude) {
+  // A converged contour stays converged (further passes are no-ops), so
+  // iterating each contour to its own fixpoint is equivalent to the old
+  // whole-set pass loop — each contour sees the same pass sequence either
+  // way.
+  int moved = 0;
+  for (auto& c : p.contours) moved += remove_horizontals(c, magnitude);
   return moved;
 }
 

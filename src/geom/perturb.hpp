@@ -16,6 +16,12 @@ namespace psclip::geom {
 /// Returns the number of vertices moved.
 int remove_horizontals(PolygonSet& p, double magnitude = 1e-9);
 
+/// Per-contour form. The nudge quantum (contour bbox height) and the salt
+/// schedule are both per-contour quantities, so perturbing a contour alone
+/// is bit-identical to perturbing it as part of any set — the fused slab
+/// partition prepares contours one at a time and relies on this.
+int remove_horizontals(Contour& c, double magnitude = 1e-9);
+
 /// Deterministic pseudo-random jitter of all vertices by up to `magnitude`
 /// (absolute units), used to put degenerate datasets into general position
 /// before clipping. The same seed always produces the same jitter.

@@ -72,21 +72,26 @@ PolygonSet transformed(const PolygonSet& p, double scale, Point offset) {
   return out;
 }
 
+Contour cleaned_contour(const Contour& c, double eps) {
+  Contour nc;
+  nc.hole = c.hole;
+  for (const auto& pt : c.pts) {
+    if (!nc.pts.empty() && nearly_equal(nc.pts.back().x, pt.x, eps) &&
+        nearly_equal(nc.pts.back().y, pt.y, eps))
+      continue;
+    nc.pts.push_back(pt);
+  }
+  while (nc.pts.size() > 1 &&
+         nearly_equal(nc.pts.front().x, nc.pts.back().x, eps) &&
+         nearly_equal(nc.pts.front().y, nc.pts.back().y, eps))
+    nc.pts.pop_back();
+  return nc;
+}
+
 PolygonSet cleaned(const PolygonSet& p, double eps) {
   PolygonSet out;
   for (const auto& c : p.contours) {
-    Contour nc;
-    nc.hole = c.hole;
-    for (const auto& pt : c.pts) {
-      if (!nc.pts.empty() && nearly_equal(nc.pts.back().x, pt.x, eps) &&
-          nearly_equal(nc.pts.back().y, pt.y, eps))
-        continue;
-      nc.pts.push_back(pt);
-    }
-    while (nc.pts.size() > 1 &&
-           nearly_equal(nc.pts.front().x, nc.pts.back().x, eps) &&
-           nearly_equal(nc.pts.front().y, nc.pts.back().y, eps))
-      nc.pts.pop_back();
+    Contour nc = cleaned_contour(c, eps);
     if (nc.pts.size() >= 3) out.contours.push_back(std::move(nc));
   }
   return out;

@@ -80,6 +80,13 @@ PolygonSet transformed(const PolygonSet& p, double scale, Point offset);
 /// duplicate vertices; returns the cleaned polygon.
 PolygonSet cleaned(const PolygonSet& p, double eps = 0.0);
 
+/// Per-contour form of cleaned(): removes consecutive (and closing)
+/// duplicate vertices of one contour. May return a contour with fewer than
+/// 3 vertices — cleaned() drops those from the set; callers operating
+/// contour-by-contour (the fused slab partition) must apply the same skip
+/// themselves to stay bit-identical with the set pipeline.
+Contour cleaned_contour(const Contour& c, double eps = 0.0);
+
 /// True when every coordinate of every vertex is finite (no NaN/Inf). The
 /// slab guards post-check clipper output with this; the parsers and
 /// geom::sanitize() use it to keep hostile coordinates out of the clippers.

@@ -14,6 +14,7 @@
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
+#include "seq/bounds.hpp"
 #include "seq/vatti.hpp"
 
 namespace psclip::mt {
@@ -75,6 +76,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   par::WallTimer req_timer;
   obs::ScopedSpan setup_span(sink, "alg2.setup", obs::Cat::kPhase);
   par::WallTimer phase_timer;
+  par::ThreadCpuTimer phase_cpu_timer;
 
   // Steps 1-3: event ordinates, sorted, and the joint MBR.
   std::vector<double> ys;
@@ -95,15 +97,16 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   const std::vector<double> bounds = slab_bounds(ys, mbr, p);
   const std::size_t nslabs = bounds.size() - 1;
 
-  // Slab-overlap contour index (Alg2Partition::kIndexed): cache each
-  // contour's bbox in one parallel pass, then build per-slab exact overlap
-  // lists so slab t only ever reads its own contours. Under kBroadcast the
-  // index is skipped and every slab scans both whole inputs (the paper's
-  // O(p·n) formulation).
-  const bool indexed = opts.partition == Alg2Partition::kIndexed;
+  // Slab-overlap contour index (Alg2Partition::kIndexed and kFused): cache
+  // each contour's bbox in one parallel pass, then build per-slab exact
+  // overlap lists so slab t only ever reads its own contours. Under
+  // kBroadcast the index is skipped and every slab scans both whole inputs
+  // (the paper's O(p·n) formulation).
+  const bool fused = opts.partition == Alg2Partition::kFused;
+  const bool use_index = fused || opts.partition == Alg2Partition::kIndexed;
   std::vector<geom::BBox> sub_boxes, clip_boxes;
   SlabContourIndex sub_idx, clip_idx;
-  if (indexed) {
+  if (use_index) {
     sub_boxes.resize(subject.num_contours());
     clip_boxes.resize(clip.num_contours());
     pool.parallel_for(
@@ -117,6 +120,69 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     sub_idx = build_slab_index(pool, sub_boxes, bounds);
     clip_idx = build_slab_index(pool, clip_boxes, bounds);
   }
+
+  // kFused setup: prepare every contour once, globally — clean + coalesce +
+  // perturb + bound decomposition + per-contour schedule run. Every prep
+  // step is per-contour deterministic, so a slab copying a fragment gets
+  // bit for bit what the materializing path's per-slab re-preparation would
+  // have rebuilt. Also classify contours as *well-contained* (overlap
+  // exactly one slab by original bbox AND the prepared bbox sits strictly
+  // inside that slab's open interval — perturbation can push a vertex past
+  // a boundary, and a boundary-touching contour is "inside" two slabs):
+  // their schedule ys go into one shared globally merged y-schedule that
+  // slab tasks slice instead of re-sorting, and the strict containment is
+  // what makes the slice exact.
+  std::vector<seq::PreparedContour> sub_prep, clip_prep;
+  std::vector<std::uint8_t> sub_ok, clip_ok, sub_well, clip_well;
+  std::vector<double> shared_ys;
+  if (fused) {
+    obs::ScopedSpan prep_span(sink, "alg2.fused_prep", obs::Cat::kPhase);
+    auto prep_input = [&](const geom::PolygonSet& input,
+                          const std::vector<geom::BBox>& boxes,
+                          std::vector<seq::PreparedContour>& prep,
+                          std::vector<std::uint8_t>& ok,
+                          std::vector<std::uint8_t>& well, bool is_clip) {
+      const std::size_t n = input.num_contours();
+      prep.resize(n);
+      ok.assign(n, 0);
+      well.assign(n, 0);
+      pool.parallel_for(
+          n,
+          [&](std::size_t i) {
+            ok[i] =
+                seq::prepare_contour(input.contours[i], is_clip, prep[i]) ? 1
+                                                                          : 0;
+            if (!ok[i]) return;
+            const SlabRange r =
+                slab_range(boxes[i].ymin, boxes[i].ymax, bounds, nslabs);
+            well[i] = r.lo <= r.hi && r.single() &&
+                              bounds[r.lo] < prep[i].box.ymin &&
+                              prep[i].box.ymax < bounds[r.lo + 1]
+                          ? 1
+                          : 0;
+          },
+          /*grain=*/16);
+    };
+    prep_input(subject, sub_boxes, sub_prep, sub_ok, sub_well,
+               /*is_clip=*/false);
+    prep_input(clip, clip_boxes, clip_prep, clip_ok, clip_well,
+               /*is_clip=*/true);
+    std::vector<std::size_t> runs{0};
+    auto collect = [&](const std::vector<seq::PreparedContour>& prep,
+                       const std::vector<std::uint8_t>& well) {
+      for (std::size_t i = 0; i < prep.size(); ++i) {
+        if (!well[i] || prep[i].ys.empty()) continue;
+        shared_ys.insert(shared_ys.end(), prep[i].ys.begin(),
+                         prep[i].ys.end());
+        runs.push_back(shared_ys.size());
+      }
+    };
+    collect(sub_prep, sub_well);
+    collect(clip_prep, clip_well);
+    seq::merge_sorted_runs_unique(shared_ys, runs);
+    prep_span.arg("shared_ys",
+                  static_cast<std::int64_t>(shared_ys.size()));
+  }
   // Steps 4-6 per slab, in parallel: rectangle-clip both inputs to the
   // slab, then run the sequential clipper on the slab pair.
   struct SlabOut {
@@ -124,12 +190,14 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     SlabLoad load;
     DegradationReport report;
     double partition_seconds = 0.0;
+    double partition_cpu = 0.0;  ///< thread CPU time of the partition step
     int worker = -1;  ///< pool worker that executed the slab (-1 = caller)
     bool done = false;       ///< slab task body ran (vs. lost to a group fault)
     bool exhausted = false;  ///< every per-slab ladder rung failed
   };
   std::vector<SlabOut> outs(nslabs);
   const double t_setup = phase_timer.seconds();
+  const double t_setup_cpu = phase_cpu_timer.seconds();
   phase_timer.reset();
   setup_span.end();
   req_span.arg("slabs", static_cast<std::int64_t>(nslabs));
@@ -151,10 +219,122 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     so.result = geom::PolygonSet{};
     so.load = SlabLoad{};
     so.partition_seconds = 0.0;
+    so.partition_cpu = 0.0;
     obs::ScopedSpan part_span(sink, "alg2.slab_partition", obs::Cat::kPhase);
     par::WallTimer timer;
+    par::ThreadCpuTimer cpu_timer;
     const geom::BBox rect{mbr.xmin - 1.0, bounds[t], mbr.xmax + 1.0,
                           bounds[t + 1]};
+
+    if (rung == Rung::kHealthy && fused) {
+      // Fused fast path: assemble the slab's bound table and scanbeam
+      // schedule directly from the globally prepared fragments — no
+      // intermediate slab polygon sets, no per-slab re-preparation, no
+      // per-slab schedule sort. The degradation ladder's next rung
+      // (kRetrySafe) is the materializing broadcast path, byte-identical
+      // by the identity chain fused == indexed == broadcast.
+      SlabArena& arena = worker_arena();
+      ++arena.tasks_served;
+      seq::VattiScratch& scratch = arena.vatti;
+      seq::BoundTable& bt = seq::scratch_bounds(scratch);
+      bt.edges.clear();
+      bt.minima.clear();
+      std::vector<double>& sched = seq::scratch_schedule(scratch);
+      sched.clear();
+      arena.run_end.clear();
+      arena.run_end.push_back(0);
+      // Shared-schedule slice: every well-contained contour's ys lie
+      // strictly inside its home slab's open interval, so the values in
+      // (bounds[t], bounds[t+1]) are exactly this slab's share.
+      {
+        const auto lo =
+            std::upper_bound(shared_ys.begin(), shared_ys.end(), bounds[t]);
+        const auto hi = std::lower_bound(lo, shared_ys.end(), bounds[t + 1]);
+        sched.insert(sched.end(), lo, hi);
+        arena.run_end.push_back(sched.size());
+      }
+      seq::FusedClipStats fstats;
+      bool finite = true;
+      auto fused_input = [&](const geom::PolygonSet& input,
+                             const SlabContourIndex& idx,
+                             const std::vector<seq::PreparedContour>& prep,
+                             const std::vector<std::uint8_t>& ok,
+                             const std::vector<std::uint8_t>& well,
+                             bool is_clip) {
+        const std::span<const SlabEntry> list = idx.slab(t);
+        arena.refs.clear();
+        arena.inside.clear();
+        arena.prep_refs.clear();
+        arena.in_shared.clear();
+        arena.refs.reserve(list.size());
+        arena.inside.reserve(list.size());
+        arena.prep_refs.reserve(list.size());
+        arena.in_shared.reserve(list.size());
+        for (const SlabEntry& e : list) {
+          arena.refs.push_back(&input.contours[e.contour]);
+          arena.inside.push_back(e.inside ? 1 : 0);
+          arena.prep_refs.push_back(ok[e.contour] ? &prep[e.contour]
+                                                  : nullptr);
+          arena.in_shared.push_back(well[e.contour] ? 1 : 0);
+        }
+        if (!seq::clip_bounds_to_slab(arena.prep_refs, arena.refs,
+                                      arena.inside, arena.in_shared, rect,
+                                      opts.rect_method, is_clip, &arena.rect,
+                                      bt, sched, arena.run_end, &fstats))
+          finite = false;
+      };
+      fused_input(subject, sub_idx, sub_prep, sub_ok, sub_well,
+                  /*is_clip=*/false);
+      fused_input(clip, clip_idx, clip_prep, clip_ok, clip_well,
+                  /*is_clip=*/true);
+      seq::sort_minima(bt);
+      so.load.touched_edges = fstats.touched_edges;
+      so.load.boundary_edges = fstats.boundary_edges;
+      so.load.bound_build_ns =
+          static_cast<std::int64_t>(timer.seconds() * 1e9);
+      so.partition_seconds = timer.seconds();
+      so.partition_cpu = cpu_timer.seconds();
+      part_span.arg("touched_edges", so.load.touched_edges);
+      part_span.arg("boundary_edges", so.load.boundary_edges);
+      part_span.end();
+      if (!finite)
+        throw Error(ErrorCode::kNonFinite,
+                    "non-finite vertex in slab " + std::to_string(t) +
+                        " partition output");
+      obs::ScopedSpan sweep_span(sink, "alg2.slab_sweep", obs::Cat::kPhase);
+      timer.reset();
+      cpu_timer.reset();
+      // Finish the schedule: one bottom-up merge of (shared slice, stray
+      // runs, piece runs) — same sorted distinct vector either sweep
+      // kernel would have built from this table.
+      par::WallTimer sched_timer;
+      seq::merge_sorted_runs_unique(sched, arena.run_end);
+      so.load.schedule_ns =
+          static_cast<std::int64_t>(sched_timer.seconds() * 1e9);
+      seq::VattiStats vs;
+      so.result = seq::vatti_sweep_prepared(op, &vs, scratch,
+                                            opts.sweep_kernel,
+                                            /*prebuilt_schedule=*/true);
+      if (par::fault::corrupt(par::fault::Site::kArena)) {
+        const double nan = std::numeric_limits<double>::quiet_NaN();
+        so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+      }
+      so.load.seconds = timer.seconds();
+      so.load.cpu_seconds = cpu_timer.seconds();
+      so.load.input_edges = vs.edges;
+      so.load.output_vertices = vs.output_vertices;
+      sweep_span.arg("input_edges", vs.edges);
+      sweep_span.arg("output_vertices", vs.output_vertices);
+      sweep_span.arg("schedule_ns", so.load.schedule_ns);
+      sweep_span.end();
+      if (sink) sink->observe("alg2.slab_clip_seconds", so.load.seconds);
+      if (!geom::is_finite(so.result))
+        throw Error(ErrorCode::kNonFinite,
+                    "non-finite vertex in slab " + std::to_string(t) +
+                        " clip output");
+      return;
+    }
+
     geom::PolygonSet a_t, b_t;
     seq::VattiScratch* scratch = nullptr;
     if (rung == Rung::kHealthy) {
@@ -167,7 +347,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       // the contours it overlaps. Broadcast: scan and classify everything.
       auto slab_input = [&](const geom::PolygonSet& input,
                             const SlabContourIndex& idx) {
-        if (!indexed) {
+        if (!use_index) {
           so.load.touched_edges +=
               static_cast<std::int64_t>(input.num_vertices());
           return seq::rect_clip(input, rect, opts.rect_method);
@@ -214,6 +394,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                             nullptr, opts.sweep_kernel);
     }
     so.partition_seconds = timer.seconds();
+    so.partition_cpu = cpu_timer.seconds();
     part_span.arg("touched_edges", so.load.touched_edges);
     part_span.end();
     // Never hand a corrupted partition to the sweep: a NaN vertex can wedge
@@ -224,6 +405,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                       " partition output");
     obs::ScopedSpan sweep_span(sink, "alg2.slab_sweep", obs::Cat::kPhase);
     timer.reset();
+    cpu_timer.reset();
     seq::VattiStats vs;
     so.result = seq::vatti_clip(a_t, b_t, op, &vs, scratch, opts.sweep_kernel);
     if (rung == Rung::kHealthy &&
@@ -232,8 +414,11 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
     }
     so.load.seconds = timer.seconds();
+    so.load.cpu_seconds = cpu_timer.seconds();
     so.load.input_edges = vs.edges;
     so.load.output_vertices = vs.output_vertices;
+    so.load.bound_build_ns = vs.bound_build_ns;
+    so.load.schedule_ns = vs.schedule_ns;
     sweep_span.arg("input_edges", vs.edges);
     sweep_span.arg("output_vertices", vs.output_vertices);
     sweep_span.end();
@@ -387,11 +572,16 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   clip_span.end();
 
   // Step 8 (sequential in the paper): concatenate the per-slab outputs.
+  // merge_cpu is measured with the thread CPU clock, not copied from the
+  // wall section: the merge runs on the caller only, but wall time still
+  // charges any time the caller was descheduled while workers wound down.
   obs::ScopedSpan merge_span(sink, "alg2.merge", obs::Cat::kPhase);
+  par::ThreadCpuTimer merge_cpu_timer;
   geom::PolygonSet out;
   for (auto& so : outs)
     for (auto& c : so.result.contours) out.contours.push_back(std::move(c));
   const double t_merge = phase_timer.seconds();
+  const double t_merge_cpu = merge_cpu_timer.seconds();
   merge_span.arg("output_contours",
                  static_cast<std::int64_t>(out.num_contours()));
   merge_span.end();
@@ -408,13 +598,13 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   }
 
   if (stats) {
-    double partition_in_slabs = 0.0;
+    double partition_cpu_in_slabs = 0.0;
     stats->slabs.clear();
     stats->degradation.clear();
     for (const auto& so : outs) {
       stats->slabs.push_back(so.load);
       stats->degradation.push_back(so.report);
-      partition_in_slabs += so.partition_seconds;
+      partition_cpu_in_slabs += so.partition_cpu;
     }
     // Per-worker scheduling record: slot i < pool.size() is pool worker i,
     // the last slot is the calling thread (which helps while waiting).
@@ -443,14 +633,14 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     // across workers. Mixing the two in one field made per-phase numbers
     // exceed the wall total whenever slabs ran concurrently — or, at
     // slabs = 1, made "clip" exceed the whole run.
-    double clip_in_slabs = 0.0;
-    for (const auto& so : outs) clip_in_slabs += so.load.seconds;
+    double clip_cpu_in_slabs = 0.0;
+    for (const auto& so : outs) clip_cpu_in_slabs += so.load.cpu_seconds;
     stats->phases.partition = t_setup;
     stats->phases.clip = t_par;
     stats->phases.merge = t_merge;
-    stats->phases.partition_cpu = t_setup + partition_in_slabs;
-    stats->phases.clip_cpu = clip_in_slabs;
-    stats->phases.merge_cpu = t_merge;
+    stats->phases.partition_cpu = t_setup_cpu + partition_cpu_in_slabs;
+    stats->phases.clip_cpu = clip_cpu_in_slabs;
+    stats->phases.merge_cpu = t_merge_cpu;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
   }
   return out;

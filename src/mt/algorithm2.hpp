@@ -26,6 +26,19 @@ enum class Alg2Partition {
   /// and rectangle-clips them against its slab. O(p·n) partition work.
   /// Retained as the ablation baseline; produces byte-identical output.
   kBroadcast,
+  /// Fused slab-local bound construction (the default): contours are
+  /// prepared (clean + coalesce + perturb + bound decomposition) once
+  /// globally, and each slab task rect-clips *bounds, not contours* —
+  /// fully-inside contours drop their prepared bound fragment straight into
+  /// the worker arena's BoundTable, straddling contours are rectangle-
+  /// clipped and only their pieces re-prepared, and the per-slab scanbeam
+  /// schedule is sliced from one shared globally merged y-schedule instead
+  /// of re-sorted per slab (seq::clip_bounds_to_slab). Removes the
+  /// materialize-then-rederive round trip that made per-slab sweep setup
+  /// cost O(slab input) instead of output-sensitive. Byte-identical output
+  /// to kIndexed/kBroadcast; the degradation ladder's kRetrySafe rung falls
+  /// back to the materializing broadcast path.
+  kFused,
 };
 
 /// Options for the multi-threaded slab clipper (Algorithm 2).
@@ -46,9 +59,10 @@ struct Alg2Options {
   /// Clipper used for the rectangle-clipping Steps 4–5; the paper picks
   /// Greiner–Hormann after benchmarking it against GPC.
   seq::RectClipMethod rect_method = seq::RectClipMethod::kGreinerHormann;
-  /// Partition-input selection strategy (see Alg2Partition). Both settings
-  /// produce byte-identical results; kBroadcast exists for ablation.
-  Alg2Partition partition = Alg2Partition::kIndexed;
+  /// Partition-input selection strategy (see Alg2Partition). All settings
+  /// produce byte-identical results; kIndexed/kBroadcast exist for
+  /// ablation.
+  Alg2Partition partition = Alg2Partition::kFused;
   /// Fault isolation (default on): every slab task runs behind a guard that
   /// catches exceptions and rejects non-finite output, then walks the
   /// degradation ladder (see mt::Rung) — retry on safe settings, alternate

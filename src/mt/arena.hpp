@@ -26,6 +26,14 @@ struct SlabArena {
   seq::RectClipScratch rect;    ///< straddling-contour buffer for rect clips
   std::vector<const geom::Contour*> refs;  ///< slab's contours, index order
   std::vector<std::uint8_t> inside;        ///< 1 = fully inside, move as-is
+  // Fused-partition staging (Alg2Partition::kFused), aligned with `refs`:
+  // the contours' globally prepared fragments and whether each one's
+  // schedule ys are covered by the shared global slice.
+  std::vector<const seq::PreparedContour*> prep_refs;
+  std::vector<std::uint8_t> in_shared;
+  /// Schedule-run boundaries for the fused path's merge_sorted_runs_unique
+  /// over the scratch schedule (scratch_schedule(vatti)).
+  std::vector<std::size_t> run_end;
   std::uint64_t tasks_served = 0;          ///< slab tasks run on this arena
 };
 

@@ -13,6 +13,7 @@
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
+#include "seq/bounds.hpp"
 #include "seq/vatti.hpp"
 
 namespace psclip::mt {
@@ -123,6 +124,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   par::WallTimer req_timer;
   obs::ScopedSpan events_span(sink, "multiset.events", obs::Cat::kPhase);
   par::WallTimer phase_timer;
+  par::ThreadCpuTimer phase_cpu_timer;
 
   const auto srecs = records(subject);
   const auto crecs = records(clip);
@@ -162,7 +164,13 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   obs::ScopedSpan assign_span(sink, "multiset.assign", obs::Cat::kPhase);
 
   // ---- Distribute polygons to slabs per the assignment mode. ----
-  std::vector<geom::PolygonSet> slab_subject, slab_clip_in;
+  // Slabs hold *record-id lists* (indices into srecs/crecs), not contour
+  // copies: replication assigns whole polygons, so an index is all a slab
+  // needs, and the old copy-per-slab materialization — which duplicated a
+  // polygon's vertices into every replicating slab — disappears. The
+  // materializing rungs below rebuild a slab's PolygonSets from these lists
+  // on demand.
+  std::vector<std::vector<std::uint32_t>> slab_subject, slab_clip_in;
   bool need_dedup = false;
 
   switch (mode) {
@@ -181,18 +189,20 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         const std::size_t i = static_cast<std::size_t>(it - bounds.begin());
         return std::min(i > 0 ? i - 1 : 0, bounds.size() - 2);
       };
-      for (const auto& r : srecs) {
+      for (std::size_t i = 0; i < srecs.size(); ++i) {
+        const PolyRec& r = srecs[i];
         const std::size_t t = slab_of(0.5 * (r.ymin + r.ymax));
-        slab_subject[t].contours.push_back(*r.contour);
+        slab_subject[t].push_back(static_cast<std::uint32_t>(i));
         reach[t].first = std::min(reach[t].first, r.ymin);
         reach[t].second = std::max(reach[t].second, r.ymax);
       }
       pool.parallel_for(
           nslabs,
           [&](std::size_t t) {
-            for (const auto& r : crecs)
-              if (r.ymin <= reach[t].second && r.ymax >= reach[t].first)
-                slab_clip_in[t].contours.push_back(*r.contour);
+            for (std::size_t i = 0; i < crecs.size(); ++i)
+              if (crecs[i].ymin <= reach[t].second &&
+                  crecs[i].ymax >= reach[t].first)
+                slab_clip_in[t].push_back(static_cast<std::uint32_t>(i));
           },
           /*grain=*/1);
       break;
@@ -205,12 +215,12 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
           nslabs,
           [&](std::size_t t) {
             const double lo = bounds[t], hi = bounds[t + 1];
-            for (const auto& r : srecs)
-              if (r.ymin <= hi && r.ymax >= lo)
-                slab_subject[t].contours.push_back(*r.contour);
-            for (const auto& r : crecs)
-              if (r.ymin <= hi && r.ymax >= lo)
-                slab_clip_in[t].contours.push_back(*r.contour);
+            for (std::size_t i = 0; i < srecs.size(); ++i)
+              if (srecs[i].ymin <= hi && srecs[i].ymax >= lo)
+                slab_subject[t].push_back(static_cast<std::uint32_t>(i));
+            for (std::size_t i = 0; i < crecs.size(); ++i)
+              if (crecs[i].ymin <= hi && crecs[i].ymax >= lo)
+                slab_clip_in[t].push_back(static_cast<std::uint32_t>(i));
           },
           /*grain=*/1);
       need_dedup = true;
@@ -264,12 +274,12 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
           slab_range.size(),
           [&](std::size_t t) {
             const double lo = slab_range[t].first, hi = slab_range[t].second;
-            for (const auto& r : srecs)
-              if (r.ymin <= hi && r.ymax >= lo)
-                slab_subject[t].contours.push_back(*r.contour);
-            for (const auto& r : crecs)
-              if (r.ymin <= hi && r.ymax >= lo)
-                slab_clip_in[t].contours.push_back(*r.contour);
+            for (std::size_t i = 0; i < srecs.size(); ++i)
+              if (srecs[i].ymin <= hi && srecs[i].ymax >= lo)
+                slab_subject[t].push_back(static_cast<std::uint32_t>(i));
+            for (std::size_t i = 0; i < crecs.size(); ++i)
+              if (crecs[i].ymin <= hi && crecs[i].ymax >= lo)
+                slab_clip_in[t].push_back(static_cast<std::uint32_t>(i));
           },
           /*grain=*/1);
       need_dedup = true;
@@ -277,7 +287,36 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     }
   }
   const std::size_t nwork = slab_subject.size();
+
+  // ---- Fused setup: prepare every polygon once, globally. ----
+  // Each record gets its clean + coalesce + perturb + bound-decomposition
+  // pass exactly once, no matter how many slabs replicate it; slab tasks
+  // then concatenate the prepared fragments. Every prep step is
+  // per-contour deterministic, so a fragment copy is bit for bit what a
+  // materializing vatti_clip would have rebuilt inside the slab.
+  std::vector<seq::PreparedContour> sub_prep, clip_prep;
+  std::vector<std::uint8_t> sub_ok, clip_ok;
+  if (opts.fused) {
+    obs::ScopedSpan prep_span(sink, "multiset.fused_prep", obs::Cat::kPhase);
+    auto prep_recs = [&](const std::vector<PolyRec>& recs,
+                         std::vector<seq::PreparedContour>& prep,
+                         std::vector<std::uint8_t>& ok, bool is_clip) {
+      prep.resize(recs.size());
+      ok.assign(recs.size(), 0);
+      pool.parallel_for(
+          recs.size(),
+          [&](std::size_t i) {
+            ok[i] = seq::prepare_contour(*recs[i].contour, is_clip, prep[i])
+                        ? 1
+                        : 0;
+          },
+          /*grain=*/16);
+    };
+    prep_recs(srecs, sub_prep, sub_ok, /*is_clip=*/false);
+    prep_recs(crecs, clip_prep, clip_ok, /*is_clip=*/true);
+  }
   const double t_assign = phase_timer.seconds();
+  const double t_assign_cpu = phase_cpu_timer.seconds();
   phase_timer.reset();
   assign_span.arg("slab_tasks", static_cast<std::int64_t>(nwork));
   assign_span.end();
@@ -291,34 +330,109 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   };
   std::vector<SlabOut> outs(nwork);
 
-  // One attempt at one slab. The slab inputs live in the shared
-  // slab_subject/slab_clip_in vectors (immutable during the clip phase), so
-  // a retry simply re-reads them; the only state a rung sheds is the
-  // worker-local arena. Throws on failure with outs[t] reset.
+  // One attempt at one slab. The slab id lists are immutable during the
+  // clip phase, so a retry simply re-reads them; the only state a rung
+  // sheds is the worker-local arena. Throws on failure with outs[t] reset.
+  //
+  // Healthy + fused: concatenate the globally prepared bound fragments of
+  // the slab's polygons into the arena's bound table, run-merge their
+  // schedule ys, and sweep — no contour copies, no re-preparation, no
+  // schedule sort. kRetrySafe (and fused off) materializes the slab's
+  // PolygonSets from the id lists and runs the ordinary vatti_clip, which
+  // rebuilds the same table bit for bit (per-contour deterministic prep).
   auto attempt_slab = [&](std::size_t t, Rung rung) {
     SlabOut& so = outs[t];
     so.result = geom::PolygonSet{};
     so.load = SlabLoad{};
     par::WallTimer timer;
+    par::ThreadCpuTimer cpu_timer;
     seq::VattiStats vs;
-    if (rung == Rung::kHealthy) {
+    if (rung == Rung::kHealthy && opts.fused) {
+      par::fault::inject(par::fault::Site::kFusedBounds);
       SlabArena& arena = worker_arena();
       ++arena.tasks_served;
-      so.result = seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs,
-                                  &arena.vatti);
+      seq::VattiScratch& scratch = arena.vatti;
+      seq::BoundTable& bt = seq::scratch_bounds(scratch);
+      bt.edges.clear();
+      bt.minima.clear();
+      std::vector<double>& ys = seq::scratch_schedule(scratch);
+      ys.clear();
+      arena.run_end.clear();
+      arena.run_end.push_back(0);
+      bool finite = true;
+      auto append_ids = [&](const std::vector<std::uint32_t>& ids,
+                            const std::vector<seq::PreparedContour>& prep,
+                            const std::vector<std::uint8_t>& ok) {
+        for (const std::uint32_t id : ids) {
+          if (!ok[id]) continue;  // degenerate after cleaning: skipped, same
+                                  // as the materializing prep loop
+          const seq::PreparedContour& pc = prep[id];
+          if (!pc.finite) {
+            finite = false;
+            continue;
+          }
+          seq::append_prepared(bt, pc);
+          so.load.touched_edges +=
+              static_cast<std::int64_t>(pc.bt.edges.size());
+          if (!pc.ys.empty()) {
+            ys.insert(ys.end(), pc.ys.begin(), pc.ys.end());
+            arena.run_end.push_back(ys.size());
+          }
+        }
+      };
+      append_ids(slab_subject[t], sub_prep, sub_ok);
+      append_ids(slab_clip_in[t], clip_prep, clip_ok);
+      seq::sort_minima(bt);
+      so.load.bound_build_ns =
+          static_cast<std::int64_t>(timer.seconds() * 1e9);
+      if (!finite)
+        throw Error(ErrorCode::kNonFinite,
+                    "non-finite vertex in multiset slab " +
+                        std::to_string(t) + " input");
+      par::WallTimer sched_timer;
+      seq::merge_sorted_runs_unique(ys, arena.run_end);
+      so.load.schedule_ns =
+          static_cast<std::int64_t>(sched_timer.seconds() * 1e9);
+      so.result = seq::vatti_sweep_prepared(op, &vs, scratch,
+                                            opts.sweep_kernel,
+                                            /*prebuilt_schedule=*/true);
       if (par::fault::corrupt(par::fault::Site::kArena)) {
         const double nan = std::numeric_limits<double>::quiet_NaN();
         so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
       }
-    } else {  // kRetrySafe: fresh scratch, no arena — bit-identical rerun.
-      so.result =
-          seq::vatti_clip(slab_subject[t], slab_clip_in[t], op, &vs, nullptr);
+    } else {
+      geom::PolygonSet a_t, b_t;
+      auto materialize = [](const std::vector<std::uint32_t>& ids,
+                            const std::vector<PolyRec>& recs,
+                            geom::PolygonSet& set) {
+        set.contours.reserve(ids.size());
+        for (const std::uint32_t id : ids)
+          set.contours.push_back(*recs[id].contour);
+      };
+      materialize(slab_subject[t], srecs, a_t);
+      materialize(slab_clip_in[t], crecs, b_t);
+      so.load.touched_edges = static_cast<std::int64_t>(
+          a_t.num_vertices() + b_t.num_vertices());
+      if (rung == Rung::kHealthy) {
+        SlabArena& arena = worker_arena();
+        ++arena.tasks_served;
+        so.result = seq::vatti_clip(a_t, b_t, op, &vs, &arena.vatti,
+                                    opts.sweep_kernel);
+        if (par::fault::corrupt(par::fault::Site::kArena)) {
+          const double nan = std::numeric_limits<double>::quiet_NaN();
+          so.result.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
+        }
+      } else {  // kRetrySafe: fresh scratch, no arena — bit-identical rerun.
+        so.result =
+            seq::vatti_clip(a_t, b_t, op, &vs, nullptr, opts.sweep_kernel);
+      }
+      so.load.bound_build_ns = vs.bound_build_ns;
+      so.load.schedule_ns = vs.schedule_ns;
     }
     so.load.seconds = timer.seconds();
+    so.load.cpu_seconds = cpu_timer.seconds();
     so.load.input_edges = vs.edges;
     so.load.output_vertices = vs.output_vertices;
-    so.load.touched_edges = static_cast<std::int64_t>(
-        slab_subject[t].num_vertices() + slab_clip_in[t].num_vertices());
     if (sink) sink->observe("multiset.slab_clip_seconds", so.load.seconds);
     if (!geom::is_finite(so.result))
       throw Error(ErrorCode::kNonFinite,
@@ -403,7 +517,8 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     obs::ScopedSpan whole_span(sink, to_string(Rung::kWholeInput),
                                obs::Cat::kRung);
     whole_span.arg("rung", static_cast<std::int64_t>(Rung::kWholeInput));
-    geom::PolygonSet whole = seq::vatti_clip(subject, clip, op);
+    geom::PolygonSet whole = seq::vatti_clip(subject, clip, op, nullptr,
+                                             nullptr, opts.sweep_kernel);
     for (auto& so : outs) {
       so.result = geom::PolygonSet{};
       so.report.rung = Rung::kWholeInput;
@@ -416,7 +531,10 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   clip_span.end();
 
   // ---- Post-processing: concatenate; drop replicated duplicates. ----
+  // merge_cpu comes from the thread CPU clock (the merge runs on the caller
+  // only; wall time also charges caller descheduling).
   obs::ScopedSpan merge_span(sink, "multiset.merge", obs::Cat::kPhase);
+  par::ThreadCpuTimer merge_cpu_timer;
   geom::PolygonSet merged;
   for (auto& so : outs)
     for (auto& c : so.result.contours)
@@ -426,6 +544,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
                              ? drop_duplicates(std::move(merged), &dups)
                              : std::move(merged);
   const double t_merge = phase_timer.seconds();
+  const double t_merge_cpu = merge_cpu_timer.seconds();
   merge_span.arg("output_contours",
                  static_cast<std::int64_t>(out.num_contours()));
   merge_span.arg("duplicates_removed", dups);
@@ -449,18 +568,19 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
       stats->slabs.push_back(so.load);
       stats->degradation.push_back(so.report);
     }
-    // Wall and CPU split (see PhaseTimes): the event/assignment passes run
-    // as caller-side sections, so their wall and cpu times coincide; the
-    // clip phase is the parallel region, so its cpu time is the per-slab
-    // sum, which can exceed the region's wall time p-fold.
-    double clip_in_slabs = 0.0;
-    for (const auto& so : outs) clip_in_slabs += so.load.seconds;
+    // Wall and CPU split (see PhaseTimes): the event/assignment/prep passes
+    // run as caller-side sections (their CPU is the caller's thread CPU
+    // clock over the same window); the clip phase is the parallel region,
+    // so its cpu time is the per-slab sum of thread-CPU clip times, which
+    // can exceed the region's wall time p-fold.
+    double clip_cpu_in_slabs = 0.0;
+    for (const auto& so : outs) clip_cpu_in_slabs += so.load.cpu_seconds;
     stats->phases.partition = t_events + t_assign;
     stats->phases.clip = t_clip;
     stats->phases.merge = t_merge;
-    stats->phases.partition_cpu = t_events + t_assign;
-    stats->phases.clip_cpu = clip_in_slabs;
-    stats->phases.merge_cpu = t_merge;
+    stats->phases.partition_cpu = t_assign_cpu;
+    stats->phases.clip_cpu = clip_cpu_in_slabs;
+    stats->phases.merge_cpu = t_merge_cpu;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
     stats->duplicates_removed = dups;
   }

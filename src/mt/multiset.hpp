@@ -4,6 +4,7 @@
 #include "geom/polygon.hpp"
 #include "mt/stats.hpp"
 #include "parallel/thread_pool.hpp"
+#include "seq/vatti.hpp"
 
 namespace psclip::obs {
 class TraceSink;
@@ -44,6 +45,20 @@ const char* to_string(MultisetAssign a);
 struct MultisetOptions {
   unsigned slabs = 0;  ///< 0 = pool thread count
   MultisetAssign assign = MultisetAssign::kAuto;
+  /// Fused slab-local bound construction (default on): every polygon is
+  /// prepared (clean + coalesce + perturb + bound decomposition + schedule
+  /// run) once globally, and each slab task concatenates the prepared
+  /// fragments of its assigned polygons straight into the worker arena's
+  /// bound table — no per-slab contour copies, no per-slab re-preparation,
+  /// and the scanbeam schedule is a linear run merge instead of a sort.
+  /// Replication assigns whole polygons (never split), so a slab's bound
+  /// table is bit-identical to what a materializing vatti_clip would have
+  /// rebuilt; output is byte-identical either way. Off reproduces the
+  /// copy-then-rederive baseline for ablation.
+  bool fused = true;
+  /// Sweep kernel for the per-slab sequential clips (see seq::SweepKernel);
+  /// both settings are byte-identical, kReference exists for ablations.
+  seq::SweepKernel sweep_kernel = seq::SweepKernel::kTuned;
   /// Fault isolation (default on): each slab's clip runs behind a guard
   /// that catches exceptions and rejects non-finite output, retries the
   /// slab on safe settings (fresh scratch, no arena — bit-identical), and

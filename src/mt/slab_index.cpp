@@ -6,15 +6,6 @@
 #include "parallel/sort.hpp"
 
 namespace psclip::mt {
-namespace {
-
-/// Slab range [lo, hi] (inclusive) a y-interval overlaps, or lo > hi when
-/// it overlaps none. Closed-interval semantics on both ends, identical to
-/// geom::BBox::overlaps against the slab rectangle [bounds[t], bounds[t+1]]:
-///   overlaps slab t  <=>  ymin <= bounds[t+1] && ymax >= bounds[t].
-struct SlabRange {
-  std::size_t lo = 1, hi = 0;
-};
 
 SlabRange slab_range(double ymin, double ymax, std::span<const double> bounds,
                      std::size_t nslabs) {
@@ -34,6 +25,8 @@ SlabRange slab_range(double ymin, double ymax, std::span<const double> bounds,
   r.hi = std::min(nslabs - 1, j0 - 1);
   return r;
 }
+
+namespace {
 
 /// Sortable (slab, contour) record; `inside` rides along.
 struct Rec {

@@ -51,6 +51,27 @@ struct SlabContourIndex {
   }
 };
 
+/// Slab range [lo, hi] (inclusive) a y-interval overlaps, or lo > hi when
+/// it overlaps none. Closed-interval semantics on both ends, identical to
+/// geom::BBox::overlaps against the slab rectangle [bounds[t], bounds[t+1]]:
+///   overlaps slab t  <=>  ymin <= bounds[t+1] && ymax >= bounds[t].
+struct SlabRange {
+  std::size_t lo = 1, hi = 0;
+
+  /// The interval overlaps exactly one slab. Combined with a strict
+  /// containment test on the *prepared* bbox, this is how the fused
+  /// partition decides a contour's schedule ys can come from the shared
+  /// global slice (see Alg2Partition::kFused).
+  [[nodiscard]] bool single() const { return lo == hi; }
+};
+
+/// Compute the slab range of one y-interval against the (strictly
+/// increasing) slab boundary array — the classification primitive behind
+/// build_slab_index, exported for the fused partition's well-contained
+/// test.
+SlabRange slab_range(double ymin, double ymax, std::span<const double> bounds,
+                     std::size_t nslabs);
+
 /// Build the index for one input set from its cached per-contour bounding
 /// boxes and the (strictly increasing) slab boundary array.
 ///

@@ -63,12 +63,14 @@ struct DegradationReport {
 /// Wall and CPU are reported separately because the phases run on many
 /// workers at once: `partition`/`clip`/`merge` are *wall-clock* sections of
 /// the calling thread (they sum to roughly the run's elapsed time), while
-/// the `*_cpu` fields sum the per-worker time actually spent in that phase
-/// across all threads (clip_cpu == Σ SlabLoad::seconds). On p busy workers
-/// clip_cpu approaches p × clip; with one slab the two coincide up to
-/// scheduling overhead. Earlier schema-1 bench reports mixed the two units
-/// in one column, which made per-phase numbers exceed the total at
-/// slabs = 1.
+/// the `*_cpu` fields sum the per-thread CPU time actually spent in that
+/// phase across all threads (clip_cpu == Σ SlabLoad::cpu_seconds), measured
+/// with par::ThreadCpuTimer. The distinction matters twice over: earlier
+/// schema-1 reports mixed the units in one column (per-phase numbers
+/// exceeded the total at slabs = 1), and schema-2 measured the per-slab
+/// "CPU" with wall timers inside the slab tasks — which double-charges
+/// whenever workers timeshare cores, the artifact behind the committed
+/// clip-CPU "doubling" from 1 to 4 slabs while touched edges grew 4%.
 struct PhaseTimes {
   double partition = 0.0;  ///< wall: slab placement + partition index build
   double clip = 0.0;       ///< wall: the whole parallel slab section
@@ -88,18 +90,36 @@ struct PhaseTimes {
 /// Per-slab work record, the raw material for the paper's load-imbalance
 /// discussion (Fig. 11).
 struct SlabLoad {
-  double seconds = 0.0;  ///< clip time of this slab
+  double seconds = 0.0;      ///< clip wall time of this slab
+  /// Clip CPU time of this slab: thread CPU clock (par::ThreadCpuTimer), so
+  /// time the worker was descheduled — other workers timesharing the core —
+  /// is not charged. This, not `seconds`, is what sums into
+  /// PhaseTimes::clip_cpu and what the bench_slab_scaling inflation gate
+  /// measures.
+  double cpu_seconds = 0.0;
   /// Bound edges the sequential clipper actually swept for this slab — the
   /// post-partition, post-cleaning edge count (VattiStats::edges), i.e. the
   /// work the slab's Step 6 really did, not the raw vertex count handed in.
   std::int64_t input_edges = 0;
   std::int64_t output_vertices = 0;
   /// Input vertices the *partition* step read for this slab. Broadcast
-  /// partitioning scans every contour of both inputs per slab, so this is
-  /// p × total vertices summed over slabs; the indexed partition only reads
-  /// contours whose y-interval overlaps the slab. Deterministic (no timing
-  /// noise), which makes it the CI-gateable ablation metric.
+  /// partitioning scans every contour of both inputs per slab; the indexed
+  /// partition only reads contours whose y-interval overlaps the slab; the
+  /// fused partition counts the bound edges it appends (prepared fragments
+  /// are copied, not re-derived). Deterministic (no timing noise), which
+  /// makes it the CI-gateable ablation metric.
   std::int64_t touched_edges = 0;
+  /// Nanoseconds this slab spent building bounds (fused: fragment copies +
+  /// piece prep inside clip_bounds_to_slab; materializing paths: the
+  /// clean/coalesce/perturb/decompose pass inside vatti_clip).
+  std::int64_t bound_build_ns = 0;
+  /// Nanoseconds this slab spent on its scanbeam schedule (fused: slicing
+  /// the shared global schedule + merging stray/piece runs; materializing
+  /// paths: the per-slab sort or k-way merge inside the sweep).
+  std::int64_t schedule_ns = 0;
+  /// Piece edges stitched exactly onto this slab's boundary lines by the
+  /// rectangle clipper (fused partition only; see FusedClipStats).
+  std::int64_t boundary_edges = 0;
 };
 
 /// Per-worker scheduling record for one Algorithm 2 run under the

@@ -32,8 +32,9 @@ enum class Site : int {
   kVattiSweep,    ///< seq::vatti_clip entry / output
   kArena,         ///< mt::worker_arena() borrow (throw kinds only on entry)
   kTaskGroup,     ///< par::TaskGroup task wrapper, before the body runs
+  kFusedBounds,   ///< seq::clip_bounds_to_slab entry / piece output
 };
-inline constexpr int kSiteCount = 4;
+inline constexpr int kSiteCount = 5;
 
 inline const char* to_string(Site s) {
   switch (s) {
@@ -41,6 +42,7 @@ inline const char* to_string(Site s) {
     case Site::kVattiSweep: return "vatti-sweep";
     case Site::kArena: return "arena";
     case Site::kTaskGroup: return "task-group";
+    case Site::kFusedBounds: return "fused-bounds";
   }
   return "?";
 }

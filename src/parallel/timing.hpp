@@ -1,6 +1,7 @@
 #pragma once
 
 #include <chrono>
+#include <ctime>
 
 namespace psclip::par {
 
@@ -22,6 +23,42 @@ class WallTimer {
  private:
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch: counts only time the *calling thread*
+/// actually executed, excluding time it was descheduled. This is the clock
+/// the per-phase `*_cpu` fields of Alg2Stats::PhaseTimes are measured with;
+/// wall timers inside slab tasks double-charge whenever workers timeshare
+/// cores (on an oversubscribed or small machine a slab's wall time includes
+/// every other runnable worker's slice, which is how the schema-2 reports
+/// came to show clip "CPU" doubling from 1 to 4 slabs while the work grew
+/// 4%). Falls back to the wall clock where the POSIX per-thread clock is
+/// unavailable.
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  /// CPU seconds this thread consumed since construction / last reset().
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+ private:
+  static double now() {
+#ifdef CLOCK_THREAD_CPUTIME_ID
+    timespec ts{};
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0)
+      return static_cast<double>(ts.tv_sec) +
+             static_cast<double>(ts.tv_nsec) * 1e-9;
+#endif
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  double start_;
 };
 
 }  // namespace psclip::par

@@ -41,6 +41,74 @@ struct BoundTable {
 /// and every contour has >= 3 vertices. Degenerate contours are skipped.
 void append_bounds(BoundTable& bt, const geom::PolygonSet& p, bool is_clip);
 
+/// Per-contour form: decompose one contour into bounds and append them.
+/// Emits edges and minima in exactly the order the set form would for this
+/// contour, so building a table contour-by-contour is bit-identical to the
+/// set pipeline.
+void append_bounds(BoundTable& bt, const geom::Contour& c, bool is_clip);
+
+/// Sort `bt.minima` by (y, x) — the final step of build_bounds_into,
+/// exposed so callers that assemble tables from prepared fragments (the
+/// fused slab partition) finish them identically.
+void sort_minima(BoundTable& bt);
+
+/// Drop interior vertices of exactly-horizontal collinear runs: vertex i
+/// goes when prev.y == cur.y == next.y (exact compares) and cur.x lies
+/// strictly between its neighbours' x. Rect-clipping against a slab stitches
+/// chains of such vertices along the slab boundary line (one per crossing
+/// cut); left in place, perturbation turns each into a separate
+/// near-horizontal bound edge whose rounded x-order flips between beams and
+/// breaks the tuned kernel's sorted-beam fast path. Dropping the interior
+/// vertex of an exactly-collinear run never changes the even-odd region.
+/// Runs before remove_horizontals in the shared per-contour prep
+/// (prepare_contour_points). Returns the number of vertices removed.
+int coalesce_horizontal_runs(geom::Contour& c);
+
+/// Shared per-contour preparation: geom::cleaned_contour (exact duplicate
+/// removal) -> coalesce_horizontal_runs -> per-contour
+/// geom::remove_horizontals, into `out` (storage reused). Returns false
+/// when fewer than 3 vertices survive — such contours contribute no bounds
+/// anywhere. vatti_clip and the fused slab partition prepare every contour
+/// through this one function; the fused path's bit-identity with
+/// materialize-then-reclip rests on the prep being per-contour
+/// deterministic.
+bool prepare_contour_points(const geom::Contour& in, geom::Contour& out);
+
+/// One globally prepared contour, ready to drop into any slab's BoundTable
+/// without re-running clean/coalesce/perturb/bound-build: the prepared
+/// vertices, the contour's own bound fragment (edge ids local to `bt`,
+/// minima in emission order, unsorted), its sorted distinct endpoint ys
+/// (a ready-made scanbeam-schedule run), prepared bbox and finiteness.
+struct PreparedContour {
+  geom::Contour pts;
+  BoundTable bt;
+  std::vector<double> ys;
+  geom::BBox box;
+  bool finite = true;
+};
+
+/// Fill `out` from `in` (storage reused). Returns false when the contour
+/// degenerates (< 3 vertices after cleaning); `out`'s table and schedule
+/// run are left empty in that case.
+bool prepare_contour(const geom::Contour& in, bool is_clip,
+                     PreparedContour& out);
+
+/// Append a prepared fragment to `bt`: edges copied with their
+/// intra-fragment `next` links rebased to the destination table, minima
+/// with their edge ids rebased. Appending fragments in contour order
+/// reproduces append_bounds over the same contour sequence byte for byte.
+void append_prepared(BoundTable& bt, const PreparedContour& pc);
+
+/// Merge sorted runs held back-to-back in `ys` (run r occupies
+/// ys[run_end[r], run_end[r+1]); run_end.front() must be 0 and
+/// run_end.back() == ys.size()) into one sorted distinct-value vector with
+/// bottom-up pairwise in-place merges. `run_end` is consumed as scratch.
+/// Factored out of scanbeam_ys_merged_into; the fused slab partition uses
+/// it to combine the shared-schedule slice with per-contour and per-piece
+/// runs.
+void merge_sorted_runs_unique(std::vector<double>& ys,
+                              std::vector<std::size_t>& run_end);
+
 /// Build the full table for a subject/clip pair and sort the minima.
 BoundTable build_bounds(const geom::PolygonSet& subject,
                         const geom::PolygonSet& clip);

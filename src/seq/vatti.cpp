@@ -32,6 +32,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -72,6 +73,12 @@ struct StagedEntry {
 bool env_validate_enabled() {
   static const bool on = std::getenv("PSCLIP_VALIDATE") != nullptr;
   return on;
+}
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -117,7 +124,7 @@ namespace {
 class Sweep {
  public:
   Sweep(VattiScratch::Impl& sc, BoolOp op, SweepKernel kernel,
-        int validate_mode)
+        int validate_mode, bool build_schedule = true)
       : bt_(sc.bt),
         op_(op),
         kernel_(kernel),
@@ -127,19 +134,29 @@ class Sweep {
         xt_(sc.xt),
         pos_(sc.pos),
         pool_(sc.pool),
+        build_schedule_(build_schedule),
         validate_(validate_mode < 0 ? env_validate_enabled()
                                     : validate_mode != 0) {}
 
   PolygonSet run(VattiStats* stats) {
     const bool tuned = kernel_ == SweepKernel::kTuned;
+    if (build_schedule_) {
+      // Both constructions produce the same sorted distinct-value vector;
+      // the split only decides which cost profile each kernel pays. A
+      // caller-prebuilt schedule (fused slab partition: one shared global
+      // schedule sliced per slab) therefore serves either kernel.
+      const std::int64_t t0 = now_ns();
+      if (tuned)
+        scanbeam_ys_merged_into(bt_, sc_.ys);
+      else
+        scanbeam_ys_into(bt_, sc_.ys);
+      if (stats) stats->schedule_ns += now_ns() - t0;
+    }
     if (tuned) {
-      scanbeam_ys_merged_into(bt_, sc_.ys);
       // The flat position index is sized once per run; entries are written
       // before they are read (an edge's slot is set when it enters the AET),
       // so no per-run clear is needed.
       if (pos_.size() < bt_.num_edges()) pos_.resize(bt_.num_edges());
-    } else {
-      scanbeam_ys_into(bt_, sc_.ys);
     }
     pool_.reserve(bt_.minima.size());
     const std::vector<double>& ys = sc_.ys;
@@ -196,6 +213,7 @@ class Sweep {
   std::int64_t sorted_beams_ = 0;
   std::int64_t pos_rebuilds_ = 0;
   std::int64_t validate_failures_ = 0;
+  bool build_schedule_ = true;
   bool validate_ = false;
 
   /// Debug self-check (VattiScratch::validate or PSCLIP_VALIDATE): parity
@@ -664,23 +682,21 @@ class Sweep {
 
 }  // namespace
 
-PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
-                      BoolOp op, VattiStats* stats, VattiScratch* scratch,
-                      SweepKernel kernel) {
-  par::fault::inject(par::fault::Site::kVattiSweep);
-  PolygonSet s = geom::cleaned(subject);
-  PolygonSet c = geom::cleaned(clip);
-  geom::remove_horizontals(s);
-  geom::remove_horizontals(c);
-  VattiScratch local;
-  VattiScratch& sc = scratch ? *scratch : local;
-  build_bounds_into(sc.impl->bt, s, c);
+namespace {
+
+/// Shared sweep tail of vatti_clip / vatti_sweep_prepared: the scratch's
+/// bound table is ready (and, with `prebuilt_schedule`, its schedule too);
+/// run the sweep, feed the trace sink, apply the kVattiSweep corruption
+/// hook.
+PolygonSet run_sweep(VattiScratch& sc, BoolOp op, VattiStats* stats,
+                     SweepKernel kernel, bool prebuilt_schedule) {
   sc.impl->begin_run();
   ++sc.runs;
   obs::TraceSink* const sink = obs::global_sink();
   VattiStats sink_stats;
   VattiStats* st = stats ? stats : (sink ? &sink_stats : nullptr);
-  Sweep sweep(*sc.impl, op, kernel, sc.validate);
+  Sweep sweep(*sc.impl, op, kernel, sc.validate,
+              /*build_schedule=*/!prebuilt_schedule);
   PolygonSet out = sweep.run(st);
   if (sink && st) {
     sink->add_counter("vatti.scanbeams", st->scanbeams);
@@ -692,6 +708,51 @@ PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
     out.add({{nan, nan}, {0.0, 0.0}, {1.0, 1.0}});
   }
   return out;
+}
+
+}  // namespace
+
+PolygonSet vatti_clip(const PolygonSet& subject, const PolygonSet& clip,
+                      BoolOp op, VattiStats* stats, VattiScratch* scratch,
+                      SweepKernel kernel) {
+  par::fault::inject(par::fault::Site::kVattiSweep);
+  VattiScratch local;
+  VattiScratch& sc = scratch ? *scratch : local;
+  BoundTable& bt = sc.impl->bt;
+  {
+    const std::int64_t t0 = now_ns();
+    bt.edges.clear();
+    bt.minima.clear();
+    // Per-contour preparation (clean -> coalesce -> perturb): every step is
+    // a per-contour function, so preparing contours one at a time here is
+    // bit-identical to whole-set preparation — and to the fused slab
+    // partition preparing the same contours once globally.
+    geom::Contour prep;
+    for (const auto& c : subject.contours)
+      if (prepare_contour_points(c, prep))
+        append_bounds(bt, prep, /*is_clip=*/false);
+    for (const auto& c : clip.contours)
+      if (prepare_contour_points(c, prep))
+        append_bounds(bt, prep, /*is_clip=*/true);
+    sort_minima(bt);
+    if (stats) stats->bound_build_ns += now_ns() - t0;
+  }
+  return run_sweep(sc, op, stats, kernel, /*prebuilt_schedule=*/false);
+}
+
+BoundTable& scratch_bounds(VattiScratch& scratch) {
+  return scratch.impl->bt;
+}
+
+std::vector<double>& scratch_schedule(VattiScratch& scratch) {
+  return scratch.impl->ys;
+}
+
+PolygonSet vatti_sweep_prepared(BoolOp op, VattiStats* stats,
+                                VattiScratch& scratch, SweepKernel kernel,
+                                bool prebuilt_schedule) {
+  par::fault::inject(par::fault::Site::kVattiSweep);
+  return run_sweep(scratch, op, stats, kernel, prebuilt_schedule);
 }
 
 }  // namespace psclip::seq

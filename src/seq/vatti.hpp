@@ -32,6 +32,22 @@ struct VattiStats {
   /// VattiScratch::validate). Always 0 on a correct sweep; tests run the
   /// whole fuzz corpus with validation forced on and assert it stays 0.
   std::int64_t validate_failures = 0;
+  /// Nanoseconds spent preparing contours and building the bound table
+  /// (clean + coalesce + perturb + bound decomposition + minima sort).
+  /// The fused slab partition pays this once globally; the materializing
+  /// partition pays it again inside every slab — this counter is how the
+  /// difference shows up in traces and BENCH_scaling.json.
+  std::int64_t bound_build_ns = 0;
+  /// Nanoseconds spent building the scanbeam schedule. Zero when the
+  /// caller supplied a prebuilt schedule (vatti_sweep_prepared with
+  /// prebuilt_schedule=true: the fused path slices one shared schedule
+  /// instead of sorting per slab).
+  std::int64_t schedule_ns = 0;
+  /// Bound edges with an endpoint exactly on a slab-boundary scanline —
+  /// the degeneracy-rich edges rect-clipping stitches in. Counted by the
+  /// fused partition (seq::clip_bounds_to_slab); stays 0 for whole-input
+  /// sweeps.
+  std::int64_t boundary_edges = 0;
 };
 
 /// Which per-beam maintenance strategy the sweep uses. Both produce
@@ -100,5 +116,31 @@ geom::PolygonSet vatti_clip(const geom::PolygonSet& subject,
                             VattiStats* stats = nullptr,
                             VattiScratch* scratch = nullptr,
                             SweepKernel kernel = SweepKernel::kTuned);
+
+// Forward declaration (seq/bounds.hpp owns the definition).
+struct BoundTable;
+
+/// The scratch's bound table / scanbeam schedule, exposed so the fused slab
+/// partition can assemble them directly (prepared-contour fragments plus
+/// slab-cropped pieces; a slice of the shared global schedule) and then run
+/// the sweep via vatti_sweep_prepared without materializing intermediate
+/// polygons.
+BoundTable& scratch_bounds(VattiScratch& scratch);
+std::vector<double>& scratch_schedule(VattiScratch& scratch);
+
+/// Run the sweep over a bound table the caller already assembled in
+/// `scratch` (via scratch_bounds; minima must be (y, x)-sorted — see
+/// sort_minima). With `prebuilt_schedule`, scratch_schedule(scratch) must
+/// hold the sorted distinct endpoint ys of that table and is consumed
+/// as-is; otherwise the schedule is built here exactly as vatti_clip
+/// builds it. Fault-injection site and output-corruption hook are the same
+/// kVattiSweep sites vatti_clip fires, so the degradation-ladder behavior
+/// is identical on both partition paths. Output is byte-identical to
+/// vatti_clip on inputs whose prepared bounds/schedule match — the fused
+/// partition's whole contract.
+geom::PolygonSet vatti_sweep_prepared(geom::BoolOp op, VattiStats* stats,
+                                      VattiScratch& scratch,
+                                      SweepKernel kernel = SweepKernel::kTuned,
+                                      bool prebuilt_schedule = false);
 
 }  // namespace psclip::seq

@@ -86,13 +86,19 @@ TEST(BenchJson, CallerVersionIsNotDuplicated) {
 
 // The schema-1 reports mixed wall-clock section times and per-worker cpu
 // sums in one column, which made "clip" exceed the run total at slabs = 1
-// (indexed_clip_ms 333 > indexed_ms 300 in the committed report). The
-// schema-2 contract: wall fields are calling-thread sections, cpu fields
-// are per-worker sums, and the two never get mixed — checked here against
-// a real instrumented slab_clip run.
+// (indexed_clip_ms 333 > indexed_ms 300 in the committed report). Schema 2
+// split the columns but still filled the cpu side from wall timers inside
+// the slab tasks, double-charging time the worker was descheduled — the
+// artifact behind the committed clip-cpu "doubling" from 1 to 4 slabs. The
+// schema-3 contract checked here: wall fields are calling-thread sections,
+// cpu fields come from the thread CPU clock (par::ThreadCpuTimer), and a
+// section's cpu time can never meaningfully exceed its wall time.
 TEST(BenchJson, PhaseWallCpuInvariants) {
   const auto pair = data::synthetic_pair(77, 1200);
   par::ThreadPool pool(4);
+
+  // CLOCK_THREAD_CPUTIME_ID granularity + a little scheduler slop.
+  const double tol = 2e-3;
 
   for (const unsigned slabs : {1u, 4u, 8u}) {
     SCOPED_TRACE("slabs=" + std::to_string(slabs));
@@ -102,26 +108,33 @@ TEST(BenchJson, PhaseWallCpuInvariants) {
     (void)mt::slab_clip(pair.subject, pair.clip, geom::BoolOp::kUnion, pool,
                         o, &st);
 
-    // clip_cpu is exactly the per-slab clip-time sum (same summation
+    // clip_cpu is exactly the per-slab thread-CPU sum (same summation
     // order, so bitwise equal — this is what "phase sums land in the cpu
     // column" means).
-    double slab_sum = 0.0;
-    for (const auto& s : st.slabs) slab_sum += s.seconds;
-    EXPECT_DOUBLE_EQ(st.phases.clip_cpu, slab_sum);
+    double cpu_sum = 0.0, wall_sum = 0.0;
+    for (const auto& s : st.slabs) {
+      cpu_sum += s.cpu_seconds;
+      wall_sum += s.seconds;
+      // One slab's clip section runs on one thread: its CPU time cannot
+      // exceed its own wall time (the schema-2 bug made them equal by
+      // construction; now cpu <= wall is a real measurement invariant).
+      EXPECT_LE(s.cpu_seconds, s.seconds + tol);
+    }
+    EXPECT_DOUBLE_EQ(st.phases.clip_cpu, cpu_sum);
+    EXPECT_LE(st.phases.clip_cpu, wall_sum + tol);
 
-    // Per-slab phase sums never exceed the cpu totals.
-    EXPECT_LE(slab_sum, st.phases.total_cpu());
-
-    // partition_cpu adds the slabs' rectangle clipping on top of the
-    // caller's setup section, so cpu >= wall for the partition phase.
-    EXPECT_GE(st.phases.partition_cpu, st.phases.partition);
-
-    // merge runs on the caller only: wall and cpu coincide.
-    EXPECT_DOUBLE_EQ(st.phases.merge_cpu, st.phases.merge);
+    // merge runs on the caller only: its CPU time is bounded by the wall
+    // section (equality only when the caller was never descheduled).
+    EXPECT_LE(st.phases.merge_cpu, st.phases.merge + tol);
 
     // Every slab's clip section ran strictly inside the parallel region,
-    // so one slab's cpu time cannot exceed the region's wall time.
-    if (slabs == 1) EXPECT_LE(st.phases.clip_cpu, st.phases.clip);
+    // so at one slab the cpu time cannot exceed the region's wall time.
+    if (slabs == 1) EXPECT_LE(st.phases.clip_cpu, st.phases.clip + tol);
+
+    // CPU fields are real measurements, never negative.
+    EXPECT_GE(st.phases.partition_cpu, 0.0);
+    EXPECT_GE(st.phases.clip_cpu, 0.0);
+    EXPECT_GE(st.phases.merge_cpu, 0.0);
 
     // Wall phases are sections of the same run: each is <= the total.
     EXPECT_LE(st.phases.partition, st.phases.total());

@@ -110,6 +110,19 @@ const SlabMatrixCase kSlabMatrix[] = {
      ErrorCode::kInjected, true},
     {"arena-corrupt-1", Site::kArena, Kind::kCorrupt, 1, Rung::kRetrySafe,
      ErrorCode::kNonFinite, true},
+    // The fused bound-construction site (entry of clip_bounds_to_slab;
+    // corrupt poisons the straddling pieces, caught by the finiteness
+    // check before the sweep). Like the arena it is only reachable on the
+    // healthy rung — kRetrySafe is the materializing path — so even an
+    // unbounded plan stops at one rung down.
+    {"fusedbounds-throw-1", Site::kFusedBounds, Kind::kThrow, 1,
+     Rung::kRetrySafe, ErrorCode::kInjected, true},
+    {"fusedbounds-badalloc-1", Site::kFusedBounds, Kind::kBadAlloc, 1,
+     Rung::kRetrySafe, ErrorCode::kResource, true},
+    {"fusedbounds-corrupt-1", Site::kFusedBounds, Kind::kCorrupt, 1,
+     Rung::kRetrySafe, ErrorCode::kNonFinite, true},
+    {"fusedbounds-throw-many", Site::kFusedBounds, Kind::kThrow, 100,
+     Rung::kRetrySafe, ErrorCode::kInjected, true},
     // Repeated firings drive the ladder exactly one rung per firing.
     {"vatti-throw-2", Site::kVattiSweep, Kind::kThrow, 2, Rung::kAltRectMethod,
      ErrorCode::kInjected, false},
@@ -319,6 +332,13 @@ const MultisetMatrixCase kMultisetMatrix[] = {
      ErrorCode::kInjected, true},
     {"arena-corrupt-1", Site::kArena, Kind::kCorrupt, 1, Rung::kRetrySafe,
      ErrorCode::kNonFinite, true},
+    // The fused fragment-concatenation site fires at the top of the fused
+    // healthy rung only; kRetrySafe materializes, so the plan goes quiet
+    // there even with shots left.
+    {"fusedbounds-throw-1", Site::kFusedBounds, Kind::kThrow, 1,
+     Rung::kRetrySafe, ErrorCode::kInjected, true},
+    {"fusedbounds-throw-many", Site::kFusedBounds, Kind::kThrow, 100,
+     Rung::kRetrySafe, ErrorCode::kInjected, true},
     // The multiset ladder has two per-slab rungs; an unbounded keyed plan
     // forces the keyless whole-input fallback.
     {"vatti-throw-whole-input", Site::kVattiSweep, Kind::kThrow, 100,
