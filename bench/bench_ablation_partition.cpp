@@ -15,6 +15,7 @@
 // than the broadcast scan at p >= 4 slabs or if the two paths disagree on
 // the output, which is what CI gates on.
 
+#include <algorithm>
 #include <cstdio>
 
 #include "bench_util.hpp"
@@ -136,6 +137,13 @@ int main(int argc, char** argv) {
     report.cell("fused_ms", t_fused * 1e3);
     report.cell("indexed_ms", t_idx * 1e3);
     report.cell("broadcast_ms", t_bcast * 1e3);
+    // Peak scratch-arena bytes over the run's slabs (fused path): the
+    // high-water mark the request memory budget would charge (schema 4).
+    long long peak_arena = 0;
+    for (const auto& sl : sf.slabs)
+      peak_arena = std::max(peak_arena,
+                            static_cast<long long>(sl.peak_arena_bytes));
+    report.cell("peak_arena_bytes", peak_arena);
     // Phase breakdown of each path (from the instrumented Alg2Stats of the
     // last of the three timed runs). Wall = calling-thread section times
     // (sum ≈ the run's elapsed time); cpu = thread-CPU-clock phase time

@@ -120,6 +120,8 @@ int main(int argc, char** argv) {
       report.cell("input_edges", static_cast<long long>(s.input_edges));
       report.cell("output_vertices",
                   static_cast<long long>(s.output_vertices));
+      report.cell("peak_arena_bytes",
+                  static_cast<long long>(s.peak_arena_bytes));
     }
     report.field("slab_imbalance", st.load_imbalance());
     report.row("phases");

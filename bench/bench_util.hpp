@@ -41,7 +41,11 @@ inline const char* json_path(int argc, char** argv) {
 ///      Every report also carries "hw_threads" (host hardware concurrency)
 ///      so scaling numbers can be interpreted on the machine that made
 ///      them; benches that own a pool additionally stamp "pool_threads".
-inline constexpr long long kReportSchemaVersion = 3;
+///   4: per-slab rows gain "peak_arena_bytes" (capacity high-water mark of
+///      the scratch arena that served the slab, the quantity the request
+///      memory budget charges — see DESIGN.md §11), and the governance
+///      overhead gate writes BENCH_governance.json.
+inline constexpr long long kReportSchemaVersion = 4;
 
 /// Append-only JSON object writer for bench results — scalar fields plus
 /// named arrays of flat row objects, enough for "one table = one array"

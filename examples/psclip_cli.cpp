@@ -2,6 +2,7 @@
 //
 //   psclip_cli <op> <subject-file> <clip-file> [--engine=E] [--out=FMT]
 //              [--sanitize] [--trace-out=FILE] [--metrics]
+//              [--deadline-ms=N] [--max-memory-mb=N] [--allow-partial]
 //
 //   op        : intersection | union | difference | xor
 //   files     : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
@@ -16,18 +17,39 @@
 //               degradation-rung spans) and write a Chrome trace_event JSON
 //               file — open it at chrome://tracing or https://ui.perfetto.dev.
 //   --metrics : print the counter/histogram snapshot (text) to stderr.
+//   --deadline-ms=N   : fail (or go partial) once the clip has run N ms.
+//   --max-memory-mb=N : cap the clip's scratch+output memory at N MiB.
+//   --allow-partial   : with the slab engine, emit the completed slabs when
+//               the deadline/budget trips instead of failing; the missing
+//               y-ranges are reported on stderr and the exit code stays 0.
 //
 // Malformed input files are rejected with the byte offset of the first
 // problem (the parsers never hand the clippers NaN/Inf coordinates).
+//
+// Exit codes (scriptable failure routing — one code per ErrorCode):
+//    0  success, including a --allow-partial partial result
+//    1  I/O or other unclassified failure
+//    2  usage error
+//    3  parse error (kParse)
+//    4  non-finite coordinate (kNonFinite)
+//    5  resource exhaustion (kResource)
+//    6  slab failure (kSlabFailure)
+//    7  aggregated task failure (kTaskFailure)
+//    8  injected test fault (kInjected)
+//    9  cancelled (kCancelled)
+//   10  deadline exceeded (kDeadlineExceeded)
+//   11  memory budget exceeded (kBudgetExceeded)
 //
 // Example:
 //   echo 'POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))' > a.wkt
 //   echo 'POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))' > b.wkt
 //   psclip_cli intersection a.wkt b.wkt --out=area
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -94,8 +116,39 @@ int usage() {
                "usage: psclip_cli <intersection|union|difference|xor> "
                "<subject-file> <clip-file> [--engine=auto|vatti|martinez|"
                "scanbeam|slab] [--out=wkt|geojson|area] [--sanitize] "
-               "[--trace-out=FILE] [--metrics]\n");
+               "[--trace-out=FILE] [--metrics] [--deadline-ms=N] "
+               "[--max-memory-mb=N] [--allow-partial]\n");
   return 2;
+}
+
+/// Exit code for a classified library failure (see the header comment).
+int exit_code(psclip::ErrorCode c) {
+  using psclip::ErrorCode;
+  switch (c) {
+    case ErrorCode::kParse: return 3;
+    case ErrorCode::kNonFinite: return 4;
+    case ErrorCode::kResource: return 5;
+    case ErrorCode::kSlabFailure: return 6;
+    case ErrorCode::kTaskFailure: return 7;
+    case ErrorCode::kInjected: return 8;
+    case ErrorCode::kCancelled: return 9;
+    case ErrorCode::kDeadlineExceeded: return 10;
+    case ErrorCode::kBudgetExceeded: return 11;
+  }
+  return 1;
+}
+
+/// Strictly positive integer flag value, or nullopt on garbage.
+std::optional<long long> parse_positive(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  long long v = 0;
+  for (const char ch : s) {
+    if (ch < '0' || ch > '9') return std::nullopt;
+    if (v > 922337203685477580LL) return std::nullopt;  // would overflow
+    v = v * 10 + (ch - '0');
+  }
+  if (v <= 0) return std::nullopt;
+  return v;
 }
 
 }  // namespace
@@ -111,6 +164,9 @@ int main(int argc, char** argv) {
   std::string trace_path;
   bool sanitize = false;
   bool metrics = false;
+  long long deadline_ms = 0;    // 0 = no deadline
+  long long max_memory_mb = 0;  // 0 = no budget
+  bool allow_partial = false;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--engine=", 0) == 0) {
@@ -126,6 +182,16 @@ int main(int argc, char** argv) {
       if (trace_path.empty()) return usage();
     } else if (arg == "--metrics") {
       metrics = true;
+    } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+      const auto v = parse_positive(arg.substr(14));
+      if (!v) return usage();
+      deadline_ms = *v;
+    } else if (arg.rfind("--max-memory-mb=", 0) == 0) {
+      const auto v = parse_positive(arg.substr(16));
+      if (!v) return usage();
+      max_memory_mb = *v;
+    } else if (arg == "--allow-partial") {
+      allow_partial = true;
     } else {
       return usage();
     }
@@ -142,8 +208,41 @@ int main(int argc, char** argv) {
   const auto clip_poly = load(argv[3], sanitize);
   if (!subject || !clip_poly) return 1;
 
-  const psclip::geom::PolygonSet result =
-      psclip::clip(*subject, *clip_poly, *op, engine);
+  // Governance: the deadline arms here, after parsing — it bounds the clip,
+  // not the file I/O. A partial result exits 0 (the caller opted into it);
+  // everything missing is named on stderr so the strip can be re-issued.
+  psclip::ClipOptions copts;
+  copts.engine = engine;
+  copts.allow_partial = allow_partial;
+  psclip::mt::PartialReport partial;
+  copts.partial = &partial;
+  if (deadline_ms > 0 || max_memory_mb > 0 || allow_partial) {
+    copts.cancel = psclip::par::CancelToken::make();
+    if (deadline_ms > 0)
+      copts.cancel.set_deadline(psclip::par::Deadline::in_ms(deadline_ms));
+    if (max_memory_mb > 0)
+      copts.cancel.set_budget(std::make_shared<psclip::par::ResourceBudget>(
+          static_cast<std::uint64_t>(max_memory_mb) << 20));
+  }
+
+  psclip::geom::PolygonSet result;
+  try {
+    result = psclip::clip(*subject, *clip_poly, *op, copts);
+  } catch (const psclip::Error& e) {
+    std::fprintf(stderr, "psclip: %s\n", e.what());
+    return exit_code(e.code());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "psclip: %s\n", e.what());
+    return 1;
+  }
+  if (partial.partial) {
+    std::fprintf(stderr,
+                 "psclip: partial result (%s): %zu slab(s) missing\n",
+                 psclip::to_string(partial.cause), partial.missing_slabs());
+    for (const auto& r : partial.missing)
+      std::fprintf(stderr, "psclip:   slabs %zu-%zu, y in [%.17g, %.17g)\n",
+                   r.first, r.last, r.y_lo, r.y_hi);
+  }
 
   int rc = 0;
   if (out_fmt == "wkt") {

@@ -6,6 +6,7 @@
 #include "core/scanbeam.hpp"
 #include "geom/perturb.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/timing.hpp"
 
 namespace psclip::core {
@@ -17,6 +18,9 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
   obs::TraceSink* const sink = opts.trace_sink;
   obs::ScopedSpan req_span(sink, "alg1.scanbeam_clip", obs::Cat::kRequest);
   par::WallTimer req_timer;
+  // Phase-boundary governance checkpoints (DESIGN.md §11): inherited from
+  // the token the caller installed; free when none is.
+  par::gov::checkpoint_now();
   geom::PolygonSet s = geom::cleaned(subject);
   geom::PolygonSet c = geom::cleaned(clip);
   geom::remove_horizontals(s);
@@ -31,6 +35,7 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
   const double t_partition = timer.seconds();
 
   const std::size_t m = part.num_beams();
+  par::gov::checkpoint_now();
   timer.reset();
   part_span.arg("edges", static_cast<std::int64_t>(bt.num_edges()));
   part_span.arg("scanbeams", static_cast<std::int64_t>(m));
@@ -55,6 +60,7 @@ geom::PolygonSet scanbeam_clip(const geom::PolygonSet& subject,
   beams_span.end();
 
   timer.reset();
+  par::gov::checkpoint_now();
   obs::ScopedSpan merge_span(sink, "alg1.merge", obs::Cat::kPhase);
   WeldArena arena;
   std::int64_t k = 0, partials = 0;

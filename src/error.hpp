@@ -17,6 +17,9 @@ enum class ErrorCode {
   kResource,       ///< allocation or thread-resource exhaustion
   kTaskFailure,    ///< aggregated parallel task failures (TaskGroup/parallel_for)
   kInjected,       ///< deterministic test fault (PSCLIP_FAULT_INJECTION builds)
+  kCancelled,        ///< request cancelled via par::CancelToken::cancel()
+  kDeadlineExceeded, ///< request deadline expired at a cooperative checkpoint
+  kBudgetExceeded,   ///< request memory budget exceeded (par::ResourceBudget)
 };
 
 inline const char* to_string(ErrorCode c) {
@@ -27,8 +30,22 @@ inline const char* to_string(ErrorCode c) {
     case ErrorCode::kResource: return "resource";
     case ErrorCode::kTaskFailure: return "task-failure";
     case ErrorCode::kInjected: return "injected";
+    case ErrorCode::kCancelled: return "cancelled";
+    case ErrorCode::kDeadlineExceeded: return "deadline-exceeded";
+    case ErrorCode::kBudgetExceeded: return "budget-exceeded";
   }
   return "?";
+}
+
+/// True for the error classes raised by request governance (cancellation,
+/// deadline, budget). The degradation ladder treats these differently from
+/// slab-local faults: cancellation/deadline abort the whole request (time
+/// lost in one slab is lost globally, retrying cannot help), while budget
+/// errors may retry once (a transient hog's spike releases with its
+/// attempt) before the slab is reported missing or the request fails.
+inline bool is_governance(ErrorCode c) {
+  return c == ErrorCode::kCancelled || c == ErrorCode::kDeadlineExceeded ||
+         c == ErrorCode::kBudgetExceeded;
 }
 
 /// Structured library error: an error code plus, where it applies, the byte

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <span>
 #include <string>
 #include <utility>
@@ -11,6 +12,7 @@
 #include "mt/arena.hpp"
 #include "mt/slab_index.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
@@ -71,6 +73,13 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   const unsigned p =
       opts.slabs ? opts.slabs
                  : pool.size() * std::max(1u, opts.oversubscribe);
+  // Install the request's governance token for the whole run; a null token
+  // inherits whatever the caller (psclip::clip facade) already installed.
+  // TaskGroup/parallel_for re-install it inside every task they run, so
+  // checkpoints fire on all workers.
+  std::optional<par::gov::ScopedToken> gov_scope;
+  if (opts.cancel.valid()) gov_scope.emplace(opts.cancel);
+  par::gov::checkpoint_now();
   obs::TraceSink* const sink = opts.trace_sink;
   obs::ScopedSpan req_span(sink, "alg2.slab_clip", obs::Cat::kRequest);
   par::WallTimer req_timer;
@@ -216,10 +225,17 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   // injected faults, resource exhaustion, or a non-finite coordinate caught
   // by the post-checks — with `so` reset so the next rung starts clean.
   auto attempt_slab = [&](std::size_t t, SlabOut& so, Rung rung) {
+    par::gov::checkpoint_now();
     so.result = geom::PolygonSet{};
     so.load = SlabLoad{};
     so.partition_seconds = 0.0;
     so.partition_cpu = 0.0;
+    // Memory budget (DESIGN.md §11): the attempt holds a charge for the
+    // arena it grows, raised to the arena's capacity watermark after each
+    // growth step and released when the attempt ends (success or unwind).
+    // Concurrent attempts therefore charge the sum of their live arenas —
+    // the process's actual slab-scratch footprint.
+    par::gov::ScopedCharge arena_charge;
     obs::ScopedSpan part_span(sink, "alg2.slab_partition", obs::Cat::kPhase);
     par::WallTimer timer;
     par::ThreadCpuTimer cpu_timer;
@@ -288,6 +304,11 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       fused_input(clip, clip_idx, clip_prep, clip_ok, clip_well,
                   /*is_clip=*/true);
       seq::sort_minima(bt);
+      // The slab's bound table and schedule are fully assembled: raise the
+      // attempt's budget charge to the arena watermark before committing to
+      // the sweep (whose own per-beam checkpoint then charges output
+      // growth).
+      arena_charge.raise_to(arena.resident_bytes());
       so.load.touched_edges = fstats.touched_edges;
       so.load.boundary_edges = fstats.boundary_edges;
       so.load.bound_build_ns =
@@ -323,11 +344,17 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       so.load.cpu_seconds = cpu_timer.seconds();
       so.load.input_edges = vs.edges;
       so.load.output_vertices = vs.output_vertices;
+      so.load.peak_arena_bytes =
+          static_cast<std::int64_t>(arena.resident_bytes());
       sweep_span.arg("input_edges", vs.edges);
       sweep_span.arg("output_vertices", vs.output_vertices);
       sweep_span.arg("schedule_ns", so.load.schedule_ns);
       sweep_span.end();
-      if (sink) sink->observe("alg2.slab_clip_seconds", so.load.seconds);
+      if (sink) {
+        sink->observe("alg2.slab_clip_seconds", so.load.seconds);
+        sink->observe("alg2.slab_peak_arena_bytes",
+                      static_cast<double>(so.load.peak_arena_bytes));
+      }
       if (!geom::is_finite(so.result))
         throw Error(ErrorCode::kNonFinite,
                     "non-finite vertex in slab " + std::to_string(t) +
@@ -397,6 +424,11 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     so.partition_cpu = cpu_timer.seconds();
     part_span.arg("touched_edges", so.load.touched_edges);
     part_span.end();
+    // Charge the materialized slab inputs (the structures this attempt
+    // retains until it returns); the sweep's own checkpoint charges output
+    // growth on top.
+    arena_charge.raise_to(
+        (a_t.num_vertices() + b_t.num_vertices()) * sizeof(geom::Point));
     // Never hand a corrupted partition to the sweep: a NaN vertex can wedge
     // the event queue, not just skew the output.
     if (!geom::is_finite(a_t) || !geom::is_finite(b_t))
@@ -419,10 +451,18 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     so.load.output_vertices = vs.output_vertices;
     so.load.bound_build_ns = vs.bound_build_ns;
     so.load.schedule_ns = vs.schedule_ns;
+    if (scratch)
+      so.load.peak_arena_bytes =
+          static_cast<std::int64_t>(worker_arena().resident_bytes());
     sweep_span.arg("input_edges", vs.edges);
     sweep_span.arg("output_vertices", vs.output_vertices);
     sweep_span.end();
-    if (sink) sink->observe("alg2.slab_clip_seconds", so.load.seconds);
+    if (sink) {
+      sink->observe("alg2.slab_clip_seconds", so.load.seconds);
+      if (scratch)
+        sink->observe("alg2.slab_peak_arena_bytes",
+                      static_cast<double>(so.load.peak_arena_bytes));
+    }
     if (!geom::is_finite(so.result))
       throw Error(ErrorCode::kNonFinite,
                   "non-finite vertex in slab " + std::to_string(t) +
@@ -440,6 +480,22 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     bool recorded = !so.report.message.empty();
     for (const Rung rung : kLadder) {
       if (rung < first) continue;
+      // Governance gate before burning a rung: a cancelled request, an
+      // expired deadline, or a *sticky* blown budget (memory still
+      // retained over the limit) makes every further attempt hopeless —
+      // time and memory lost in this slab are lost globally, unlike the
+      // slab-local faults the ladder exists for. A transient budget
+      // failure (e.g. an allocation spike released with its attempt)
+      // passes this gate and gets its retry on the next rung, preserving
+      // byte-identical recovery.
+      try {
+        par::gov::checkpoint_now();
+      } catch (...) {
+        if (!recorded) classify_failure(so.report);
+        so.result = geom::PolygonSet{};
+        so.exhausted = true;
+        return;
+      }
       ++so.report.attempts;
       // One kRung span per ladder attempt, named after the rung; nests
       // under the enclosing slab span (same thread, implicit parent).
@@ -497,7 +553,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                     static_cast<std::int64_t>(so.report.attempts));
     });
   }
-  bool any_exhausted = false;
+  PartialReport partial;
   if (!opts.isolate_faults) {
     group.wait();  // fail-fast: first slab failure propagates unchanged
   } else {
@@ -530,9 +586,51 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                       static_cast<std::int64_t>(so.report.attempts));
       }
     }
+    // Exhausted slabs split two ways. Governance-exhausted slabs (the
+    // ladder gate tripped on cancel/deadline/budget) must NOT reach the
+    // whole-input fallback — recomputing everything sequentially is the
+    // most expensive possible response to "stop spending resources".
+    // They either become a partial result (allow_partial) or fail the
+    // request with the precise governance code. Only fault-exhausted
+    // slabs (every rung genuinely failed) take the whole-input rung.
+    bool fault_exhausted = false, gov_exhausted = false;
     for (const SlabOut& so : outs)
-      if (so.exhausted) any_exhausted = true;
-    if (any_exhausted) {
+      if (so.exhausted) {
+        if (is_governance(so.report.cause))
+          gov_exhausted = true;
+        else
+          fault_exhausted = true;
+      }
+    if (gov_exhausted && !opts.allow_partial) {
+      // Prefer the live token state (clean message); fall back to the
+      // recorded first governance failure (e.g. a transient budget trip
+      // whose sticky state has since cleared).
+      par::gov::rethrow_if_stopped();
+      for (const SlabOut& so : outs)
+        if (so.exhausted && is_governance(so.report.cause))
+          throw Error(so.report.cause, so.report.message);
+    }
+    if (gov_exhausted) {
+      partial.partial = true;
+      for (const SlabOut& so : outs)
+        if (so.exhausted && is_governance(so.report.cause)) {
+          partial.cause = so.report.cause;
+          partial.message = so.report.message;
+          break;
+        }
+      for (std::size_t t = 0; t < nslabs; ++t) {
+        SlabOut& so = outs[t];
+        if (!so.exhausted) continue;
+        so.report.rung = Rung::kPartialResult;
+        if (!partial.missing.empty() &&
+            partial.missing.back().last + 1 == t) {
+          partial.missing.back().last = t;
+          partial.missing.back().y_hi = bounds[t + 1];
+        } else {
+          partial.missing.push_back({t, t, bounds[t], bounds[t + 1]});
+        }
+      }
+    } else if (fault_exhausted) {
       // Final rung: abandon the slab decomposition and recompute the whole
       // request sequentially. Runs keyless so slab-keyed fault plans cannot
       // follow the computation here; a fault that still fires (kAnyKey plan
@@ -595,6 +693,16 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     sink->add_counter("alg2.slabs", static_cast<std::int64_t>(nslabs));
     sink->add_counter("alg2.degraded_slabs", degraded);
     sink->observe("alg2.request_seconds", req_timer.seconds());
+    if (partial.partial) {
+      req_span.arg("partial", 1);
+      req_span.arg("missing_slabs",
+                   static_cast<std::int64_t>(partial.missing_slabs()));
+      sink->add_counter("alg2.partial_requests", 1);
+      sink->add_counter("alg2.missing_slabs",
+                        static_cast<std::int64_t>(partial.missing_slabs()));
+    }
+    if (const par::ResourceBudget* b = opts.cancel.budget())
+      sink->observe("gov.peak_budget_bytes", static_cast<double>(b->peak()));
   }
 
   if (stats) {
@@ -642,6 +750,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
     stats->phases.clip_cpu = clip_cpu_in_slabs;
     stats->phases.merge_cpu = t_merge_cpu;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
+    stats->partial = partial;
   }
   return out;
 }

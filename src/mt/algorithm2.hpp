@@ -3,6 +3,7 @@
 #include "geom/bool_op.hpp"
 #include "geom/polygon.hpp"
 #include "mt/stats.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/rect_clip.hpp"
 #include "seq/vatti.hpp"
@@ -88,6 +89,22 @@ struct Alg2Options {
   /// histograms. The sink must outlive the call and be thread-safe
   /// (obs::TraceRecorder is).
   obs::TraceSink* trace_sink = nullptr;
+  /// Request governance handle (DESIGN.md §11): cancel flag, deadline and
+  /// memory budget checked at cooperative checkpoints throughout the run —
+  /// phase boundaries, slab-attempt entries, parallel_for chunk boundaries
+  /// and every scanbeam of the sweep. A default (null) token governs
+  /// nothing and costs one null check per checkpoint; when slab_clip is
+  /// called with a token already installed on the thread (psclip::clip
+  /// facade), leaving this null inherits it.
+  par::CancelToken cancel;
+  /// Partial-result contract: when a slab is abandoned because the
+  /// request's deadline, budget or cancellation tripped, return the
+  /// completed slabs instead of failing the whole request. Abandoned slabs
+  /// report Rung::kPartialResult and Alg2Stats::partial names the missing
+  /// slab index ranges and their y-extents. Off (default): the first
+  /// governance trip propagates out of slab_clip as its precise Error
+  /// (kCancelled / kDeadlineExceeded / kBudgetExceeded).
+  bool allow_partial = false;
 };
 
 /// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "geom/polygon.hpp"
@@ -35,6 +37,26 @@ struct SlabArena {
   /// over the scratch schedule (scratch_schedule(vatti)).
   std::vector<std::size_t> run_end;
   std::uint64_t tasks_served = 0;          ///< slab tasks run on this arena
+
+  /// Approximate bytes resident in this arena (capacity-based, like
+  /// seq::VattiScratch::resident_bytes): the per-worker high-water mark the
+  /// memory-budget model charges and SlabLoad::peak_arena_bytes reports.
+  [[nodiscard]] std::size_t resident_bytes() const {
+    auto vec = [](const auto& v) {
+      return v.capacity() *
+             sizeof(typename std::decay_t<decltype(v)>::value_type);
+    };
+    auto set_bytes = [&](const geom::PolygonSet& s) {
+      std::size_t b = vec(s.contours);
+      for (const auto& c : s.contours) b += vec(c.pts);
+      return b;
+    };
+    return vatti.resident_bytes() + vec(refs) + vec(inside) + vec(prep_refs) +
+           vec(in_shared) + vec(run_end) + set_bytes(rect.straddling) +
+           set_bytes(rect.pieces) + vec(rect.piece_prep.pts.pts) +
+           vec(rect.piece_prep.bt.edges) + vec(rect.piece_prep.bt.minima) +
+           vec(rect.piece_prep.ys);
+  }
 };
 
 /// The calling thread's slab arena (created on first use, then reused for

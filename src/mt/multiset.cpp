@@ -4,12 +4,14 @@
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <optional>
 #include <string>
 #include <utility>
 
 #include "error.hpp"
 #include "mt/arena.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/sort.hpp"
 #include "parallel/timing.hpp"
@@ -122,6 +124,13 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   obs::TraceSink* const sink = opts.trace_sink;
   obs::ScopedSpan req_span(sink, "alg2.multiset_clip", obs::Cat::kRequest);
   par::WallTimer req_timer;
+  // Install the request's governance token for the whole run (slab tasks
+  // re-capture it through parallel_for); a null token inherits whatever the
+  // caller installed on this thread (psclip::clip facade) or governs
+  // nothing. Checkpoint immediately: an already-dead request does no work.
+  std::optional<par::gov::ScopedToken> gov_scope;
+  if (opts.cancel.valid()) gov_scope.emplace(opts.cancel);
+  par::gov::checkpoint_now();
   obs::ScopedSpan events_span(sink, "multiset.events", obs::Cat::kPhase);
   par::WallTimer phase_timer;
   par::ThreadCpuTimer phase_cpu_timer;
@@ -171,6 +180,10 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   // materializing rungs below rebuild a slab's PolygonSets from these lists
   // on demand.
   std::vector<std::vector<std::uint32_t>> slab_subject, slab_clip_in;
+  // y-extent of every slab task, for PartialReport's missing ranges. Block
+  // closure merges slabs into blocks, so the extent list is per *task*,
+  // not per decomposition slab.
+  std::vector<std::pair<double, double>> work_extent;
   bool need_dedup = false;
 
   switch (mode) {
@@ -282,11 +295,16 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
                 slab_clip_in[t].push_back(static_cast<std::uint32_t>(i));
           },
           /*grain=*/1);
+      work_extent = std::move(slab_range);
       need_dedup = true;
       break;
     }
   }
   const std::size_t nwork = slab_subject.size();
+  if (work_extent.empty())
+    for (std::size_t t = 0; t < nwork; ++t)
+      work_extent.emplace_back(bounds[t], bounds[t + 1]);
+  par::gov::checkpoint_now();
 
   // ---- Fused setup: prepare every polygon once, globally. ----
   // Each record gets its clean + coalesce + perturb + bound-decomposition
@@ -327,6 +345,11 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     SlabLoad load;
     DegradationReport report;
     bool exhausted = false;
+    /// The slab's ladder ran to a verdict (success or exhausted). False
+    /// means the scheduler never ran the body — a governance trip escaped
+    /// through parallel_for's own chunk checkpoints — and the caller must
+    /// finish the slab itself so it gets routed below.
+    bool done = false;
   };
   std::vector<SlabOut> outs(nwork);
 
@@ -344,6 +367,12 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     SlabOut& so = outs[t];
     so.result = geom::PolygonSet{};
     so.load = SlabLoad{};
+    // Cooperative checkpoint at attempt entry, then a budget charge scoped
+    // to this attempt: raised to the arena capacity watermark (fused) or
+    // the materialized slab input size, released when the attempt ends —
+    // concurrent attempts charge the sum of their live scratch.
+    par::gov::checkpoint_now();
+    par::gov::ScopedCharge arena_charge;
     par::WallTimer timer;
     par::ThreadCpuTimer cpu_timer;
     seq::VattiStats vs;
@@ -383,6 +412,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
       append_ids(slab_subject[t], sub_prep, sub_ok);
       append_ids(slab_clip_in[t], clip_prep, clip_ok);
       seq::sort_minima(bt);
+      arena_charge.raise_to(arena.resident_bytes());
       so.load.bound_build_ns =
           static_cast<std::int64_t>(timer.seconds() * 1e9);
       if (!finite)
@@ -411,6 +441,8 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
       };
       materialize(slab_subject[t], srecs, a_t);
       materialize(slab_clip_in[t], crecs, b_t);
+      arena_charge.raise_to(
+          (a_t.num_vertices() + b_t.num_vertices()) * sizeof(geom::Point));
       so.load.touched_edges = static_cast<std::int64_t>(
           a_t.num_vertices() + b_t.num_vertices());
       if (rung == Rung::kHealthy) {
@@ -433,6 +465,15 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     so.load.cpu_seconds = cpu_timer.seconds();
     so.load.input_edges = vs.edges;
     so.load.output_vertices = vs.output_vertices;
+    if (rung == Rung::kHealthy) {
+      // Both healthy branches ran on the worker arena; kRetrySafe uses
+      // fresh scratch that is freed with the attempt and reports 0.
+      so.load.peak_arena_bytes =
+          static_cast<std::int64_t>(worker_arena().resident_bytes());
+      if (sink)
+        sink->observe("multiset.slab_peak_arena_bytes",
+                      static_cast<double>(so.load.peak_arena_bytes));
+    }
     if (sink) sink->observe("multiset.slab_clip_seconds", so.load.seconds);
     if (!geom::is_finite(so.result))
       throw Error(ErrorCode::kNonFinite,
@@ -443,9 +484,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   obs::ScopedSpan clip_span(sink, "multiset.clip", obs::Cat::kPhase);
   const obs::SpanId clip_id = clip_span.id();
 
-  pool.parallel_for(
-      nwork,
-      [&](std::size_t t) {
+  const auto run_slab = [&](std::size_t t) {
         // Deterministic fault key: plans keyed on slab t fire for slab t
         // regardless of which worker the pool hands it to.
         par::fault::ScopedKey key(t);
@@ -454,12 +493,28 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         slab_span.arg("slab", static_cast<std::int64_t>(t));
         if (!opts.isolate_faults) {
           attempt_slab(t, Rung::kHealthy);
+          outs[t].done = true;
           return;
         }
         SlabOut& so = outs[t];
+        so.done = true;
         so.report.attempts = 0;
         bool recorded = false;
         for (const Rung rung : {Rung::kHealthy, Rung::kRetrySafe}) {
+          // Governance gate (same contract as slab_clip's run_ladder): a
+          // cancelled request, expired deadline or sticky blown budget makes
+          // every further rung hopeless — abandon the slab. A transient
+          // budget failure passes and gets its byte-identical retry.
+          try {
+            par::gov::checkpoint_now();
+          } catch (const Error& e) {
+            if (!recorded) {
+              so.report.cause = e.code();
+              so.report.message = e.what();
+              recorded = true;
+            }
+            break;
+          }
           ++so.report.attempts;
           obs::ScopedSpan rung_span(sink, to_string(rung), obs::Cat::kRung);
           rung_span.arg("rung", static_cast<std::int64_t>(rung));
@@ -502,13 +557,69 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
         so.result = geom::PolygonSet{};
         so.exhausted = true;
         slab_span.arg("exhausted", 1);
-      },
-      /*grain=*/1);
+  };
+  try {
+    pool.parallel_for(nwork, run_slab, /*grain=*/1);
+  } catch (...) {
+    // The slab bodies themselves never throw under fault isolation, so
+    // this is a governance trip that escaped through parallel_for's own
+    // chunk-boundary checkpoints, skipping not-yet-started slabs. The
+    // condition is sticky (cancel flag, expired deadline, blown budget),
+    // so finishing the skipped slabs on the calling thread makes each
+    // trip its ladder gate immediately and routes it below — partial
+    // result or precise error, same as slabs the gate caught directly.
+    if (!opts.isolate_faults) throw;  // fail-fast contract
+    for (std::size_t t = 0; t < nwork; ++t)
+      if (!outs[t].done) run_slab(t);
+    bool any_exhausted = false;
+    for (const auto& so : outs) any_exhausted = any_exhausted || so.exhausted;
+    if (!any_exhausted) throw;  // not governance after all — don't swallow it
+  }
 
-  bool any_exhausted = false;
+  // Exhausted slabs split two ways (same policy as slab_clip): slabs the
+  // governance gate abandoned must NOT reach the whole-input fallback —
+  // recomputing everything sequentially is the most expensive possible
+  // response to "stop spending resources". They become a partial result
+  // (allow_partial) or fail the request with the precise governance code;
+  // only fault-exhausted slabs take the whole-input rung.
+  PartialReport partial;
+  bool fault_exhausted = false, gov_exhausted = false;
   for (const auto& so : outs)
-    if (so.exhausted) any_exhausted = true;
-  if (any_exhausted) {
+    if (so.exhausted) {
+      if (is_governance(so.report.cause))
+        gov_exhausted = true;
+      else
+        fault_exhausted = true;
+    }
+  if (gov_exhausted && !opts.allow_partial) {
+    par::gov::rethrow_if_stopped();
+    for (const auto& so : outs)
+      if (so.exhausted && is_governance(so.report.cause))
+        throw Error(so.report.cause, so.report.message);
+  }
+  if (gov_exhausted) {
+    // Completed slabs keep their outputs (dedup still runs over them);
+    // abandoned slabs are simply missing, named by task index and y-extent.
+    partial.partial = true;
+    for (const auto& so : outs)
+      if (so.exhausted && is_governance(so.report.cause)) {
+        partial.cause = so.report.cause;
+        partial.message = so.report.message;
+        break;
+      }
+    for (std::size_t t = 0; t < nwork; ++t) {
+      SlabOut& so = outs[t];
+      if (!so.exhausted) continue;
+      so.report.rung = Rung::kPartialResult;
+      if (!partial.missing.empty() && partial.missing.back().last + 1 == t) {
+        partial.missing.back().last = t;
+        partial.missing.back().y_hi = work_extent[t].second;
+      } else {
+        partial.missing.push_back(
+            {t, t, work_extent[t].first, work_extent[t].second});
+      }
+    }
+  } else if (fault_exhausted) {
     // Final rung: one sequential clip of the whole multisets, replacing
     // every per-slab output (same region; contours are no longer grouped
     // per slab and dedup becomes unnecessary). Runs keyless so slab-keyed
@@ -559,6 +670,16 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     sink->add_counter("multiset.slabs", static_cast<std::int64_t>(nwork));
     sink->add_counter("multiset.degraded_slabs", degraded);
     sink->observe("multiset.request_seconds", req_timer.seconds());
+    if (partial.partial) {
+      req_span.arg("partial", 1);
+      req_span.arg("missing_slabs",
+                   static_cast<std::int64_t>(partial.missing_slabs()));
+      sink->add_counter("multiset.partial_requests", 1);
+      sink->add_counter("multiset.missing_slabs",
+                        static_cast<std::int64_t>(partial.missing_slabs()));
+    }
+    if (const par::ResourceBudget* b = opts.cancel.budget())
+      sink->observe("gov.peak_budget_bytes", static_cast<double>(b->peak()));
   }
 
   if (stats) {
@@ -583,6 +704,7 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
     stats->phases.merge_cpu = t_merge_cpu;
     stats->output_contours = static_cast<std::int64_t>(out.num_contours());
     stats->duplicates_removed = dups;
+    stats->partial = partial;
   }
   return out;
 }

@@ -3,6 +3,7 @@
 #include "geom/bool_op.hpp"
 #include "geom/polygon.hpp"
 #include "mt/stats.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/vatti.hpp"
 
@@ -70,6 +71,14 @@ struct MultisetOptions {
   /// cost of one pointer test per site. Same contract as
   /// Alg2Options::trace_sink.
   obs::TraceSink* trace_sink = nullptr;
+  /// Request governance handle (DESIGN.md §11), same contract as
+  /// Alg2Options::cancel: a null token governs nothing and inherits any
+  /// token already installed on the calling thread.
+  par::CancelToken cancel;
+  /// Partial-result contract, same as Alg2Options::allow_partial: slabs
+  /// abandoned by a governance trip report Rung::kPartialResult and are
+  /// recorded in Alg2Stats::partial instead of failing the request.
+  bool allow_partial = false;
 };
 
 /// Clip two *sets* of polygons (e.g. two GIS layers) — the paper's

@@ -31,6 +31,13 @@ enum class Rung : std::uint8_t {
   /// clipper, abandoning the slab decomposition (result contours are no
   /// longer split at slab boundaries).
   kWholeInput,
+  /// Terminal governance rung (Alg2Options::allow_partial): the slab was
+  /// abandoned because the request's deadline, budget, or cancellation
+  /// tripped — no further rung is attempted (time and memory lost in one
+  /// slab are lost globally) and the slab's output is *missing* from the
+  /// result, recorded in Alg2Stats::partial. Deliberately the deepest rung
+  /// so worst_rung() surfaces partiality over any completed degradation.
+  kPartialResult,
 };
 
 inline const char* to_string(Rung r) {
@@ -40,6 +47,7 @@ inline const char* to_string(Rung r) {
     case Rung::kAltRectMethod: return "alt-rect-method";
     case Rung::kSlabSequential: return "slab-sequential";
     case Rung::kWholeInput: return "whole-input";
+    case Rung::kPartialResult: return "partial-result";
   }
   return "?";
 }
@@ -120,6 +128,13 @@ struct SlabLoad {
   /// Piece edges stitched exactly onto this slab's boundary lines by the
   /// rectangle clipper (fused partition only; see FusedClipStats).
   std::int64_t boundary_edges = 0;
+  /// Approximate peak bytes resident in the scratch arena that served this
+  /// slab's successful attempt (seq::VattiScratch::resident_bytes plus the
+  /// rect-clip scratch), sampled right after the attempt. Capacity-based:
+  /// pooled worker arenas keep capacity across slabs, so one worker's
+  /// arena reports the high-water mark of everything it served so far —
+  /// exactly the number the memory-budget model charges (DESIGN.md §11).
+  std::int64_t peak_arena_bytes = 0;
 };
 
 /// Per-worker scheduling record for one Algorithm 2 run under the
@@ -134,6 +149,34 @@ struct WorkerLoad {
   double idle_seconds = 0.0;       ///< pool idle-time delta over the run
 };
 
+/// Contiguous run of slabs missing from a partial result, plus the y-range
+/// they cover — enough for a caller to re-issue exactly the missing strip
+/// as a follow-up request.
+struct MissingSlabRange {
+  std::size_t first = 0;  ///< first missing slab index (inclusive)
+  std::size_t last = 0;   ///< last missing slab index (inclusive)
+  double y_lo = 0.0;      ///< bottom of the missing strip
+  double y_hi = 0.0;      ///< top of the missing strip
+};
+
+/// What a partial result (Rung::kPartialResult under
+/// Alg2Options::allow_partial) is missing and why. `partial` is false for
+/// every complete result, including degraded-but-complete ones.
+struct PartialReport {
+  bool partial = false;
+  std::vector<MissingSlabRange> missing;
+  /// Governance code that stopped the first abandoned slab (kCancelled,
+  /// kDeadlineExceeded or kBudgetExceeded).
+  ErrorCode cause = ErrorCode::kDeadlineExceeded;
+  std::string message;  ///< first governance failure's message
+
+  [[nodiscard]] std::size_t missing_slabs() const {
+    std::size_t n = 0;
+    for (const auto& r : missing) n += r.last - r.first + 1;
+    return n;
+  }
+};
+
 /// Full instrumentation for one Algorithm 2 run.
 struct Alg2Stats {
   PhaseTimes phases;
@@ -142,6 +185,8 @@ struct Alg2Stats {
   /// Per-slab fault-isolation record, index-aligned with `slabs`. When the
   /// whole-input fallback fired, every entry reports Rung::kWholeInput.
   std::vector<DegradationReport> degradation;
+  /// Governance outcome: which slabs (if any) are missing from the result.
+  PartialReport partial;
   std::int64_t output_contours = 0;
   std::int64_t duplicates_removed = 0;  ///< multiset variant only
 

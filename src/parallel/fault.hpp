@@ -1,11 +1,14 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <new>
 #include <string>
+#include <thread>
 
 #include "error.hpp"
+#include "parallel/cancel.hpp"
 
 namespace psclip::par::fault {
 
@@ -52,14 +55,24 @@ enum class Kind : int {
   kThrow = 0,  ///< throw psclip::Error(kInjected)
   kBadAlloc,   ///< throw std::bad_alloc (resource-exhaustion class)
   kCorrupt,    ///< silently poison the site's output with a non-finite vertex
+  kStall,      ///< sleep Plan::magnitude ms — a slow site, not a broken one
+  kHog,        ///< transient Plan::magnitude-byte spike against the installed
+               ///< gov budget; throws kBudgetExceeded only if it doesn't fit
 };
+/// Count of the *throwing/corrupting* kinds seeded_plan draws from. The
+/// governance kinds (kStall/kHog) have their own generator so the original
+/// fuzz lane's plans — and its fired ⟹ degraded invariant, which a stall
+/// would violate — are unchanged.
 inline constexpr int kKindCount = 3;
+inline constexpr int kGovernanceKindCount = 2;
 
 inline const char* to_string(Kind k) {
   switch (k) {
     case Kind::kThrow: return "throw";
     case Kind::kBadAlloc: return "bad-alloc";
     case Kind::kCorrupt: return "corrupt";
+    case Kind::kStall: return "stall";
+    case Kind::kHog: return "hog";
   }
   return "?";
 }
@@ -80,7 +93,14 @@ struct Plan {
   /// Number of matching site evaluations that fault before the plan goes
   /// quiet (it stays armed so `fired()` keeps reporting).
   std::uint64_t fire_count = 1;
+  /// Kind-specific size: milliseconds slept per kStall firing, bytes spiked
+  /// per kHog firing. 0 selects the kind's default (5 ms / 1 GiB).
+  std::uint64_t magnitude = 0;
 };
+
+/// Default magnitudes, exposed so tests can assert against them.
+inline constexpr std::uint64_t kDefaultStallMs = 5;
+inline constexpr std::uint64_t kDefaultHogBytes = 1ull << 30;
 
 /// Derive a pseudo-random single-shot plan from a seed — the fuzz lane's
 /// source of fault diversity. kCorrupt is only meaningful at sites that
@@ -98,6 +118,23 @@ inline Plan seeded_plan(std::uint64_t seed, std::uint64_t max_key) {
                : static_cast<Kind>((z >> 8) % kKindCount);
   p.key = max_key ? (z >> 16) % max_key : kAnyKey;
   p.fire_count = 1;
+  return p;
+}
+
+/// Governance-kind sibling of seeded_plan: single-shot kStall or kHog at a
+/// pseudo-random site/key. Stalls stay short (1..8 ms) so fuzz lanes remain
+/// fast; hogs spike large (1 GiB) so any installed finite budget trips.
+inline Plan seeded_governance_plan(std::uint64_t seed, std::uint64_t max_key) {
+  std::uint64_t z = (seed ^ 0xa5a5a5a5a5a5a5a5ull) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  Plan p;
+  p.site = static_cast<Site>(z % kSiteCount);
+  p.kind = ((z >> 8) % kGovernanceKindCount) == 0 ? Kind::kStall : Kind::kHog;
+  p.key = max_key ? (z >> 16) % max_key : kAnyKey;
+  p.fire_count = 1;
+  p.magnitude = p.kind == Kind::kStall ? 1 + ((z >> 32) % 8) : kDefaultHogBytes;
   return p;
 }
 
@@ -166,6 +203,25 @@ inline void inject(Site site) {
     throw Error(ErrorCode::kInjected,
                 std::string("injected fault at ") + to_string(site));
   if (detail::claim(site, Kind::kBadAlloc)) throw std::bad_alloc();
+  if (detail::claim(site, Kind::kStall)) {
+    const std::uint64_t ms =
+        detail::g_plan.magnitude ? detail::g_plan.magnitude : kDefaultStallMs;
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+  if (detail::claim(site, Kind::kHog)) {
+    // Transient allocation spike: probe the installed budget and release
+    // immediately (the hog's memory does not outlive the site). Without a
+    // budget the spike is unobservable; with one that it doesn't fit, the
+    // site fails exactly like a real OOM would — preemptively.
+    const std::uint64_t bytes =
+        detail::g_plan.magnitude ? detail::g_plan.magnitude : kDefaultHogBytes;
+    if (ResourceBudget* b = gov::current_budget())
+      if (!b->charge_transient(bytes))
+        throw Error(ErrorCode::kBudgetExceeded,
+                    std::string("injected allocation spike at ") +
+                        to_string(site) + " (" + std::to_string(bytes) +
+                        " bytes)");
+  }
 }
 
 /// Corruption-type injection point. Call where a site can poison its

@@ -6,6 +6,7 @@
 
 #include "error.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/timing.hpp"
 
 namespace psclip::par {
@@ -235,7 +236,10 @@ void ThreadPool::parallel_for(std::size_t n,
   if (n == 0) return;
   grain = std::max<std::size_t>(grain, 1);
   if (num_threads_ == 1 || n <= grain) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    for (std::size_t i = 0; i < n; ++i) {
+      gov::checkpoint();
+      body(i);
+    }
     return;
   }
 
@@ -257,10 +261,18 @@ void ThreadPool::parallel_for(std::size_t n,
   auto first_msg = std::make_shared<std::string>();
   auto eptr_mu = std::make_shared<std::mutex>();
 
+  // The submitter's governance token rides into every driver (pool workers
+  // have none of their own) and is re-checked at each chunk boundary, so a
+  // cancel/deadline/budget trip stops the region even when `body` itself
+  // never checkpoints.
+  const gov::CapturedToken tok;
+
   auto drive = [next, pending, error, failures, eptr, first_msg, eptr_mu, n,
-                grain, &body] {
+                grain, tok, &body] {
+    gov::ScopedState gov_state(tok.state());
     try {
       for (;;) {
+        gov::checkpoint();
         const std::size_t begin = next->fetch_add(grain);
         if (begin >= n || error->load(std::memory_order_relaxed)) break;
         const std::size_t end = std::min(n, begin + grain);
@@ -291,6 +303,10 @@ void ThreadPool::parallel_for(std::size_t n,
   while (pending->load(std::memory_order_acquire) != 0)
     std::this_thread::yield();
   const std::uint64_t nfail = failures->load(std::memory_order_acquire);
+  // A tripped token outranks the aggregation fold: concurrent failures
+  // caused by governance must surface with their precise code, not as an
+  // opaque kTaskFailure.
+  if (nfail > 0) gov::rethrow_if_stopped(tok.state());
   if (nfail > 1)
     throw Error(ErrorCode::kTaskFailure, std::to_string(nfail) +
                                              " tasks failed; first: " +

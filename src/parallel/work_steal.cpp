@@ -6,6 +6,7 @@
 
 #include "error.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -69,14 +70,20 @@ void TaskGroup::record_failure() {
 
 void TaskGroup::run(std::function<void()> task) {
   const std::uint64_t idx = seq_.fetch_add(1, std::memory_order_relaxed);
+  // The submitter's governance token travels with the task: whichever
+  // worker steals it re-installs the token, so checkpoints inside the body
+  // observe the request's cancel/deadline/budget no matter where it runs.
+  const gov::CapturedToken tok;
   pending_.fetch_add(1, std::memory_order_acq_rel);
-  pool_.submit_stealable([this, idx, task = std::move(task)] {
+  pool_.submit_stealable([this, idx, tok, task = std::move(task)] {
     // After a failure the not-yet-started group tasks are skipped, not run
     // — the same early exit parallel_for applies to its chunks. Tasks
     // already in flight can still throw; every throw is recorded.
     if (!failed_.load(std::memory_order_acquire)) {
       try {
         fault::ScopedKey key(idx);
+        gov::ScopedState gov_state(tok.state());
+        gov::checkpoint_now();
         fault::inject(fault::Site::kTaskGroup);
         task();
       } catch (...) {
@@ -117,6 +124,10 @@ void TaskGroup::wait() {
     }
     const std::uint64_t n = failures_.exchange(0, std::memory_order_acq_rel);
     failed_.store(false, std::memory_order_release);  // group is reusable
+    // If the waiter's installed token tripped, report the precise
+    // governance code instead of folding the (possibly many) resulting
+    // task failures into an opaque kTaskFailure.
+    if (n > 0) gov::rethrow_if_stopped();
     if (n > 1)
       throw Error(ErrorCode::kTaskFailure,
                   std::to_string(n) + " tasks failed; first: " + msg);

@@ -13,6 +13,9 @@
 ///   core::scanbeam_clip                 the paper's parallel Algorithm 1
 ///   mt::slab_clip / mt::multiset_clip   the paper's Algorithm 2
 
+#include <optional>
+#include <utility>
+
 #include "core/algorithm1.hpp"
 #include "error.hpp"
 #include "geom/area_oracle.hpp"
@@ -31,6 +34,7 @@
 #include "obs/metrics.hpp"
 #include "obs/recorder.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
 #include "seq/greiner_hormann.hpp"
 #include "seq/liang_barsky.hpp"
@@ -50,18 +54,54 @@ enum class Engine {
   kSlab,       ///< parallel Algorithm 2 (paper's practical algorithm)
 };
 
-/// One-call general polygon clipping. Even-odd semantics, arbitrary
-/// inputs (see README "Semantics and contract"). Parallel engines use the
-/// process-wide default thread pool. When a process-wide trace sink is
-/// installed (obs::set_global_sink), the call records a psclip.clip request
-/// span and the parallel engines trace their phase/slab/rung breakdown
-/// into the same sink.
+/// Request-governance options for the governed clip() overload.
+struct ClipOptions {
+  Engine engine = Engine::kAuto;
+  /// Deadline / memory-budget / cancellation token (DESIGN.md §11). Null
+  /// (default) governs nothing. Installed for the whole request: the
+  /// parallel engines propagate it to every worker, and the sequential
+  /// engines inherit it through the thread-local governance state (the
+  /// Vatti sweep checks every scanbeam; Martinez checks at entry only).
+  par::CancelToken cancel;
+  /// Parallel slab engine only: return the completed slabs instead of
+  /// failing when `cancel` trips mid-run (see Alg2Options::allow_partial).
+  /// Sequential engines have no partial contract — they fail precisely.
+  bool allow_partial = false;
+  /// Out-parameter: when non-null, receives the run's partial-result
+  /// report (PartialReport::partial == false for every complete result).
+  mt::PartialReport* partial = nullptr;
+};
+
+/// One-call general polygon clipping with request governance. Even-odd
+/// semantics, arbitrary inputs (see README "Semantics and contract").
+/// Parallel engines use the process-wide default thread pool. When a
+/// process-wide trace sink is installed (obs::set_global_sink), the call
+/// records a psclip.clip request span and the parallel engines trace their
+/// phase/slab/rung breakdown into the same sink.
 inline geom::PolygonSet clip(const geom::PolygonSet& subject,
                              const geom::PolygonSet& clip_poly,
-                             geom::BoolOp op, Engine engine = Engine::kAuto) {
+                             geom::BoolOp op, const ClipOptions& copts) {
   obs::TraceSink* const sink = obs::global_sink();
   obs::ScopedSpan req_span(sink, "psclip.clip", obs::Cat::kRequest);
-  switch (engine) {
+  // Install the token for the whole request; a request that is already
+  // cancelled or past its deadline does no work at all.
+  std::optional<par::gov::ScopedToken> gov_scope;
+  if (copts.cancel.valid()) gov_scope.emplace(copts.cancel);
+  par::gov::checkpoint_now();
+  if (copts.partial) *copts.partial = mt::PartialReport{};
+  auto slab = [&] {
+    mt::Alg2Options opts;
+    opts.trace_sink = sink;
+    opts.cancel = copts.cancel;
+    opts.allow_partial = copts.allow_partial;
+    mt::Alg2Stats stats;
+    geom::PolygonSet out =
+        mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts,
+                      copts.partial ? &stats : nullptr);
+    if (copts.partial) *copts.partial = std::move(stats.partial);
+    return out;
+  };
+  switch (copts.engine) {
     case Engine::kVatti:
       return seq::vatti_clip(subject, clip_poly, op);
     case Engine::kMartinez:
@@ -72,23 +112,25 @@ inline geom::PolygonSet clip(const geom::PolygonSet& subject,
       return core::scanbeam_clip(subject, clip_poly, op, par::default_pool(),
                                  nullptr, opts);
     }
-    case Engine::kSlab: {
-      mt::Alg2Options opts;
-      opts.trace_sink = sink;
-      return mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts);
-    }
+    case Engine::kSlab:
+      return slab();
     case Engine::kAuto:
       break;
   }
   // Heuristic: the parallel decomposition pays off once the input is big
   // enough to amortize partitioning (cf. bench_fig8).
   const std::size_t n = subject.num_vertices() + clip_poly.num_vertices();
-  if (n >= 20000 && par::default_pool().size() > 1) {
-    mt::Alg2Options opts;
-    opts.trace_sink = sink;
-    return mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts);
-  }
+  if (n >= 20000 && par::default_pool().size() > 1) return slab();
   return seq::vatti_clip(subject, clip_poly, op);
+}
+
+/// Ungoverned convenience form: clip(a, b, op [, engine]).
+inline geom::PolygonSet clip(const geom::PolygonSet& subject,
+                             const geom::PolygonSet& clip_poly,
+                             geom::BoolOp op, Engine engine = Engine::kAuto) {
+  ClipOptions copts;
+  copts.engine = engine;
+  return clip(subject, clip_poly, op, copts);
 }
 
 }  // namespace psclip

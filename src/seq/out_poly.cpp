@@ -11,6 +11,7 @@ std::int32_t OutPolyPool::create(const geom::Point& p, bool hole,
                                  std::int32_t back_edge) {
   Poly poly;
   poly.pts.push_back(p);
+  ++total_vertices_;
   poly.hole = hole;
   poly.min_y = p.y;
   poly.front_owner = front_edge;
@@ -33,6 +34,7 @@ bool OutPolyPool::owns_front(const Poly& p, std::int32_t edge) {
 void OutPolyPool::extend(std::int32_t poly, std::int32_t edge,
                          const geom::Point& p) {
   Poly& pl = at(resolve(poly));
+  ++total_vertices_;
   if (owns_front(pl, edge))
     pl.pts.push_front(p);
   else
@@ -43,6 +45,7 @@ void OutPolyPool::extend_reassign(std::int32_t poly, std::int32_t edge,
                                   const geom::Point& p,
                                   std::int32_t new_edge) {
   Poly& pl = at(resolve(poly));
+  ++total_vertices_;
   if (owns_front(pl, edge)) {
     pl.pts.push_front(p);
     pl.front_owner = new_edge;
@@ -71,6 +74,7 @@ OutPolyPool::EndRef OutPolyPool::locate_end(std::int32_t poly,
 void OutPolyPool::extend_reassign_end(EndRef ref, const geom::Point& p,
                                       std::int32_t new_edge) {
   Poly& pl = at(ref.poly);
+  ++total_vertices_;
   if (ref.front) {
     pl.pts.push_front(p);
     pl.front_owner = new_edge;
@@ -90,6 +94,7 @@ void OutPolyPool::close(std::int32_t poly_a, std::int32_t edge_a,
     Poly& pl = at(ida);
     // Both ends of the same partial contour meet: the ring is complete.
     pl.pts.push_back(p);
+    ++total_vertices_;
     pl.closed = true;
     pl.front_owner = pl.back_owner = -1;
     return;
@@ -121,6 +126,7 @@ void OutPolyPool::close(std::int32_t poly_a, std::int32_t edge_a,
   const std::int32_t head_id = (&tail == &a) ? idb : ida;
 
   tail.pts.push_back(p);
+  ++total_vertices_;
   tail.pts.splice(tail.pts.end(), head.pts);
   tail.back_owner = head.back_owner;
   // The ring's hole-ness is decided at its *global* minimum: a partial

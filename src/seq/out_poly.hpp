@@ -68,9 +68,28 @@ class OutPolyPool {
   /// Number of poly records created (including absorbed ones).
   [[nodiscard]] std::size_t size() const { return polys_.size(); }
 
+  /// Total vertices appended since the last reset() (splices conserve the
+  /// count; reversals don't touch it). O(1) — the per-scanbeam budget
+  /// checkpoint reads this to charge output growth preemptively, the only
+  /// structure whose size is output-sensitive rather than input-bounded.
+  [[nodiscard]] std::size_t total_vertices() const { return total_vertices_; }
+
+  /// Approximate resident bytes: record array capacity plus list nodes
+  /// (vertex + two links + allocator header per node).
+  [[nodiscard]] std::size_t resident_bytes() const {
+    return polys_.capacity() * sizeof(Poly) + total_vertices_ * kVertexBytes;
+  }
+
+  /// Estimated heap cost of one list-node vertex.
+  static constexpr std::size_t kVertexBytes =
+      sizeof(geom::Point) + 3 * sizeof(void*);
+
   /// Drop all poly records, retaining the record array's capacity — lets a
   /// pooled sweep scratch reuse the same OutPolyPool across runs.
-  void reset() { polys_.clear(); }
+  void reset() {
+    polys_.clear();
+    total_vertices_ = 0;
+  }
 
   /// Pre-size the record array (the sweep reserves one slot per local
   /// minimum up front, the upper bound on contributing minima).
@@ -92,6 +111,7 @@ class OutPolyPool {
     std::int32_t back_owner = -1;
   };
   std::vector<Poly> polys_;
+  std::size_t total_vertices_ = 0;
 
   Poly& at(std::int32_t id) { return polys_[static_cast<std::size_t>(id)]; }
   /// True if `edge` owns the front end of `p` (asserts it owns some end).

@@ -43,6 +43,7 @@
 #include "geom/intersect.hpp"
 #include "geom/perturb.hpp"
 #include "obs/trace.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "seq/bounds.hpp"
 #include "seq/out_poly.hpp"
@@ -119,6 +120,24 @@ VattiScratch::~VattiScratch() = default;
 VattiScratch::VattiScratch(VattiScratch&&) noexcept = default;
 VattiScratch& VattiScratch::operator=(VattiScratch&&) noexcept = default;
 
+std::size_t VattiScratch::resident_bytes() const {
+  const Impl& s = *impl;
+  auto vec = [](const auto& v) {
+    return v.capacity() * sizeof(typename std::decay_t<decltype(v)>::value_type);
+  };
+  std::size_t b = vec(s.bt.edges) + vec(s.bt.minima) + vec(s.ys) +
+                  vec(s.aet) + vec(s.xb) + vec(s.xt) + vec(s.pos) +
+                  vec(s.events) + vec(s.keys) + vec(s.pending) +
+                  vec(s.deferred) + vec(s.staged) + vec(s.aet_merge) +
+                  vec(s.xb_merge);
+  // Hash map (reference kernel only): buckets + one node per entry.
+  b += s.posmap.bucket_count() * sizeof(void*) +
+       s.posmap.size() *
+           (sizeof(std::pair<std::int32_t, std::size_t>) + 2 * sizeof(void*));
+  b += s.pool.resident_bytes();
+  return b;
+}
+
 namespace {
 
 class Sweep {
@@ -161,7 +180,18 @@ class Sweep {
     pool_.reserve(bt_.minima.size());
     const std::vector<double>& ys = sc_.ys;
     std::size_t next_min = 0;
+    // Request governance (DESIGN.md §11): the scanbeam loop is the one
+    // place whose trip count is output-sensitive, so it hosts the
+    // cooperative cancellation checkpoint (amortized clock reads keep it
+    // under the bench_governance_overhead 1% gate) and the preemptive
+    // charge for output growth — the only structure a hostile input can
+    // blow up beyond any input-proportional bound. The charge is a
+    // watermark over the pool's O(1) vertex counter and releases with this
+    // scope if the sweep unwinds.
+    par::gov::ScopedCharge out_charge;
     for (std::size_t i = 0; i + 1 < ys.size(); ++i) {
+      par::gov::checkpoint();
+      out_charge.raise_to(pool_.total_vertices() * OutPolyPool::kVertexBytes);
       const double yb = ys[i];
       const double yt = ys[i + 1];
       if (tuned)

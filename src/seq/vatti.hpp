@@ -93,6 +93,12 @@ struct VattiScratch {
   ///    0  force off,  1  force on (deterministic hook for tests).
   int validate = -1;
 
+  /// Approximate bytes resident in this scratch's buffers (capacities, not
+  /// sizes — pooled buffers keep capacity across runs, and capacity is what
+  /// the process actually holds). Powers SlabLoad::peak_arena_bytes and the
+  /// memory-budget accounting of DESIGN.md §11.
+  [[nodiscard]] std::size_t resident_bytes() const;
+
   struct Impl;  // buffer bundle, private to vatti.cpp
   std::unique_ptr<Impl> impl;
 };

@@ -20,10 +20,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <memory>
 
 #include "fuzz_cases.hpp"
 #include "mt/algorithm2.hpp"
 #include "mt/stats.hpp"
+#include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/thread_pool.hpp"
 
@@ -88,6 +90,106 @@ TEST_P(FaultFuzz, SingleShotFaultIsInvisible) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeded, FaultFuzz,
+                         ::testing::ValuesIn(fuzz::make_cases()));
+
+// ---- Governance-kind lanes (kStall / kHog). ----
+//
+// These kinds deliberately violate the original lane's "fired ⟹ degraded"
+// invariant — a stall is a slow site, not a broken one — so they get their
+// own lanes with their own invariants:
+//   * a stall with no deadline armed is completely invisible: byte-equal
+//     output, zero degradation (nothing threw, nothing retried);
+//   * an allocation hog under a finite budget is a *transient* failure —
+//     the spike is released with the attempt, the sticky flag stays clear,
+//     and the ladder recovers on kRetrySafe with byte-identical output.
+
+class GovernanceFaultFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(GovernanceFaultFuzz, StallWithoutDeadlineIsInvisible) {
+  const FuzzCase c = GetParam();
+  par::fault::Plan plan = par::fault::seeded_governance_plan(c.seed, kSlabs);
+  plan.kind = par::fault::Kind::kStall;
+  plan.magnitude = 1;  // 1 ms keeps 216 cases fast
+  SCOPED_TRACE("repro: " + c.repro() +
+               " stall@" + par::fault::to_string(plan.site) +
+               " key=" + std::to_string(plan.key));
+  const Inputs in = make_inputs(c);
+
+  static par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = kSlabs;
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  const PolygonSet want = mt::slab_clip(in.a, in.b, c.op, pool, o);
+
+  par::fault::arm(plan);
+  mt::Alg2Stats stats;
+  PolygonSet got;
+  try {
+    got = mt::slab_clip(in.a, in.b, c.op, pool, o, &stats);
+  } catch (...) {
+    par::fault::disarm();
+    throw;
+  }
+  par::fault::disarm();
+
+  EXPECT_EQ(canonical_vertices(got), canonical_vertices(want));
+  EXPECT_EQ(stats.degraded_slabs(), 0)
+      << "a stall is slow, not broken: nothing may throw or retry";
+  EXPECT_FALSE(stats.partial.partial);
+}
+
+TEST_P(GovernanceFaultFuzz, HogUnderBudgetRecoversByteIdentical) {
+  const FuzzCase c = GetParam();
+  par::fault::Plan plan = par::fault::seeded_governance_plan(c.seed, kSlabs);
+  plan.kind = par::fault::Kind::kHog;
+  plan.magnitude = 0;  // default 1 GiB spike — never fits the budget below
+  SCOPED_TRACE("repro: " + c.repro() +
+               " hog@" + par::fault::to_string(plan.site) +
+               " key=" + std::to_string(plan.key));
+  const Inputs in = make_inputs(c);
+
+  static par::ThreadPool pool(4);
+  mt::Alg2Options o;
+  o.slabs = kSlabs;
+  o.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  const PolygonSet want = mt::slab_clip(in.a, in.b, c.op, pool, o);
+
+  // Generous for the corpus's real footprint, far smaller than the spike.
+  auto budget = std::make_shared<par::ResourceBudget>(256ull << 20);
+  o.cancel = par::CancelToken::make();
+  o.cancel.set_budget(budget);
+
+  par::fault::arm(plan);
+  mt::Alg2Stats stats;
+  PolygonSet got;
+  try {
+    got = mt::slab_clip(in.a, in.b, c.op, pool, o, &stats);
+  } catch (...) {
+    par::fault::disarm();
+    throw;
+  }
+  const std::uint64_t fired = par::fault::fired();
+  par::fault::disarm();
+
+  EXPECT_EQ(canonical_vertices(got), canonical_vertices(want))
+      << "hog recovery changed the output (fired=" << fired << ")";
+  EXPECT_LE(stats.worst_rung(), mt::Rung::kRetrySafe)
+      << "a transient spike must retry, not abandon the slab";
+  EXPECT_FALSE(stats.partial.partial);
+  EXPECT_FALSE(budget->blown())
+      << "a released spike must not leave the budget sticky-blown";
+  EXPECT_EQ(budget->used(), 0u);
+  if (fired > 0) {
+    EXPECT_GE(stats.degraded_slabs(), 1)
+        << "a hog fired against a finite budget but nothing degraded";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, GovernanceFaultFuzz,
                          ::testing::ValuesIn(fuzz::make_cases()));
 
 }  // namespace

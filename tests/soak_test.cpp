@@ -1,0 +1,216 @@
+// Chaos soak for request governance (requires -DPSCLIP_FAULT_INJECTION=ON;
+// ctest label "soak").
+//
+// Every case of the 216-case fuzz corpus is re-run under a pseudo-random
+// governance configuration derived from the case seed: a deadline lane
+// (none / generous / tight / already-expired), a budget lane (none /
+// generous / tight), an optional armed governance fault (kStall or kHog
+// from fault::seeded_governance_plan), and the partial-result switch. The
+// point is not to predict which condition trips — on a timeshared host
+// that is unknowable — but to assert that EVERY reachable outcome keeps
+// the contracts of DESIGN.md §11:
+//
+//   * the run terminates, and when a deadline is armed it terminates
+//     within deadline + ε (ε generous enough for sanitizer builds);
+//   * the outcome is exactly one of: complete success, a partial result
+//     (only when allow_partial), or a precise governance Error — never a
+//     mangled kTaskFailure, never a crash;
+//   * a complete success is BYTE-IDENTICAL to the ungoverned reference
+//     (the only recovery rung governance faults can drive is kRetrySafe,
+//     which is bit-equal by construction);
+//   * the budget meter balances: used() returns to zero however the run
+//     ended, and peak() never exceeds the limit;
+//   * after a trip, an ungoverned re-run is byte-identical to the
+//     reference — aborted attempts must not poison pooled worker arenas
+//     or any other cross-request state.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "error.hpp"
+#include "fuzz_cases.hpp"
+#include "mt/algorithm2.hpp"
+#include "mt/stats.hpp"
+#include "parallel/cancel.hpp"
+#include "parallel/fault.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace psclip {
+namespace {
+
+using fuzz::canonical_vertices;
+using fuzz::FuzzCase;
+using fuzz::Inputs;
+using fuzz::make_inputs;
+using geom::PolygonSet;
+
+static_assert(par::fault::kEnabled,
+              "soak_test requires PSCLIP_FAULT_INJECTION=ON");
+
+constexpr unsigned kSlabs = 6;
+// Scheduling slack added to the armed deadline before the wall-clock bound
+// is declared violated: checkpoints are cooperative (a stall or one slow
+// scanbeam overshoots by design) and sanitizer builds on shared hosts are
+// slow. What matters is the order of magnitude: a governance-free run of a
+// corpus case is milliseconds, so a run that ignored its deadline for two
+// whole seconds is a real containment failure, not noise.
+constexpr std::int64_t kSlackMs = 2000;
+
+struct SoakConfig {
+  std::int64_t deadline_ms = -1;  // -1 = no deadline
+  std::uint64_t budget_bytes = 0;  // 0 = no budget
+  bool arm_fault = false;
+  bool allow_partial = false;
+
+  [[nodiscard]] std::string describe() const {
+    std::string s = "deadline=";
+    s += deadline_ms < 0 ? "none" : std::to_string(deadline_ms) + "ms";
+    s += " budget=";
+    s += budget_bytes == 0 ? "none" : std::to_string(budget_bytes) + "B";
+    s += arm_fault ? " fault=armed" : " fault=none";
+    s += allow_partial ? " partial=allowed" : " partial=off";
+    return s;
+  }
+};
+
+/// Pseudo-random lane assignment, decorrelated from the corpus seeds the
+/// same way the fault planners are (SplitMix64 finalizer).
+SoakConfig derive_config(std::uint64_t seed) {
+  std::uint64_t z = (seed ^ 0x5ca1ab1edeadbeefull) + 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  SoakConfig c;
+  switch (z % 4) {
+    case 0: c.deadline_ms = -1; break;
+    case 1: c.deadline_ms = 10'000; break;  // generous: should never trip
+    case 2: c.deadline_ms = 25; break;      // tight: may trip mid-run
+    case 3: c.deadline_ms = 0; break;       // expired before entry
+  }
+  switch ((z >> 8) % 3) {
+    case 0: c.budget_bytes = 0; break;
+    case 1: c.budget_bytes = 256ull << 20; break;  // generous
+    case 2: c.budget_bytes = 128ull << 10; break;  // tight: 2 granules
+  }
+  c.arm_fault = ((z >> 16) & 1) != 0;
+  c.allow_partial = ((z >> 17) & 1) != 0;
+  return c;
+}
+
+class GovernanceSoak : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(GovernanceSoak, EveryOutcomeKeepsTheContract) {
+  const FuzzCase c = GetParam();
+  const SoakConfig cfg = derive_config(c.seed);
+  const par::fault::Plan plan =
+      par::fault::seeded_governance_plan(c.seed, kSlabs);
+  SCOPED_TRACE("repro: " + c.repro() + " " + cfg.describe() +
+               (cfg.arm_fault
+                    ? " plan=" + std::string(par::fault::to_string(plan.site)) +
+                          "/" + par::fault::to_string(plan.kind) +
+                          " key=" + std::to_string(plan.key)
+                    : ""));
+  const Inputs in = make_inputs(c);
+
+  static par::ThreadPool pool(4);
+  mt::Alg2Options base;
+  base.slabs = kSlabs;
+  base.rect_method = seq::RectClipMethod::kVatti;
+
+  par::fault::disarm();
+  const PolygonSet want = mt::slab_clip(in.a, in.b, c.op, pool, base);
+
+  mt::Alg2Options o = base;
+  o.cancel = par::CancelToken::make();
+  if (cfg.deadline_ms >= 0)
+    o.cancel.set_deadline(par::Deadline::in_ms(cfg.deadline_ms));
+  std::shared_ptr<par::ResourceBudget> budget;
+  if (cfg.budget_bytes != 0) {
+    budget = std::make_shared<par::ResourceBudget>(cfg.budget_bytes);
+    o.cancel.set_budget(budget);
+  }
+  o.allow_partial = cfg.allow_partial;
+  if (cfg.arm_fault) par::fault::arm(plan);
+
+  enum class Outcome { kSuccess, kPartial, kGovernanceError };
+  Outcome outcome = Outcome::kSuccess;
+  mt::Alg2Stats stats;
+  PolygonSet got;
+  ErrorCode err = ErrorCode::kCancelled;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    got = mt::slab_clip(in.a, in.b, c.op, pool, o, &stats);
+    if (stats.partial.partial) outcome = Outcome::kPartial;
+  } catch (const Error& e) {
+    outcome = Outcome::kGovernanceError;
+    err = e.code();
+  } catch (...) {
+    par::fault::disarm();
+    FAIL() << "governed run threw something other than psclip::Error";
+  }
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+  par::fault::disarm();
+
+  // Termination bound: an armed deadline caps the run, cooperatively.
+  if (cfg.deadline_ms >= 0)
+    EXPECT_LE(elapsed_ms, cfg.deadline_ms + kSlackMs)
+        << "run overshot its deadline by more than the cooperative slack";
+
+  // The budget meter balances no matter how the run ended, and peak
+  // accounting never admits more than the limit.
+  if (budget) {
+    EXPECT_EQ(budget->used(), 0u)
+        << "charges leaked (unwind or partial path missed a release)";
+    EXPECT_LE(budget->peak(), budget->limit());
+  }
+
+  switch (outcome) {
+    case Outcome::kSuccess:
+      // Complete success must be byte-identical: stalls produce no error,
+      // hog recovery is kRetrySafe (bit-equal), governance trips never
+      // complete silently.
+      EXPECT_EQ(canonical_vertices(got), canonical_vertices(want));
+      EXPECT_LE(stats.worst_rung(), mt::Rung::kRetrySafe);
+      EXPECT_FALSE(stats.partial.partial);
+      break;
+    case Outcome::kPartial:
+      EXPECT_TRUE(cfg.allow_partial)
+          << "partial result without the partial contract";
+      EXPECT_TRUE(is_governance(stats.partial.cause));
+      EXPECT_GE(stats.partial.missing_slabs(), 1u);
+      EXPECT_LE(stats.partial.missing_slabs(), kSlabs);
+      EXPECT_EQ(stats.worst_rung(), mt::Rung::kPartialResult);
+      for (const auto& r : stats.partial.missing) {
+        EXPECT_LE(r.first, r.last);
+        EXPECT_LT(r.last, kSlabs);
+      }
+      break;
+    case Outcome::kGovernanceError:
+      EXPECT_TRUE(is_governance(err))
+          << "governed run failed with non-governance code "
+          << static_cast<int>(err);
+      break;
+  }
+
+  if (outcome != Outcome::kSuccess) {
+    // Aborted attempts must leave no cross-request debris: pooled worker
+    // arenas, scratch, scanbeam schedules all reset. An ungoverned re-run
+    // must reproduce the reference bit for bit.
+    const PolygonSet again = mt::slab_clip(in.a, in.b, c.op, pool, base);
+    EXPECT_EQ(canonical_vertices(again), canonical_vertices(want))
+        << "a governance trip polluted state shared across requests";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeded, GovernanceSoak,
+                         ::testing::ValuesIn(fuzz::make_cases()));
+
+}  // namespace
+}  // namespace psclip
