@@ -1,0 +1,270 @@
+// Serving-layer throughput bench + CI gate (DESIGN.md §12).
+//
+// Replays a mixed request workload through svc::ClipService from 1, 4 and
+// 16 concurrent clients, with the prepared-contour cache on and off:
+//   * small pairs under kAuto (resolve to the sequential clipper — the
+//     common "many cheap requests" serving case, parallel only across
+//     clients), and
+//   * medium pairs forced onto the slab engine (sharing the service's pool
+//     and hitting the prepared cache on every replay).
+// Each configuration reports requests/sec and the p50/p99 submit latency,
+// mirrored into BENCH_service.json with --json.
+//
+// Gates (process exits nonzero on violation — CI runs this binary):
+//   * every unique request's service output is byte-identical to a direct
+//     psclip::clip call with the same engine and pool (checked untimed);
+//   * on hosts with >= 8 hardware threads, 16-client throughput (cache on)
+//     >= kMinSpeedup x the 1-client throughput — concurrency must buy
+//     wall-clock, not just interleave it. Override with
+//     PSCLIP_SERVICE_GATE=<factor> for noisy hosts; skipped below 8
+//     threads where the concurrency headroom doesn't exist;
+//   * cache-on runs actually hit the cache (hits > 0).
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "data/synthetic.hpp"
+#include "parallel/thread_pool.hpp"
+#include "parallel/timing.hpp"
+#include "psclip.hpp"
+#include "svc/clip_service.hpp"
+
+namespace {
+
+using psclip::Engine;
+using psclip::geom::BoolOp;
+using psclip::geom::PolygonSet;
+
+bool identical(const PolygonSet& a, const PolygonSet& b) {
+  if (a.contours.size() != b.contours.size()) return false;
+  for (std::size_t i = 0; i < a.contours.size(); ++i) {
+    if (a.contours[i].hole != b.contours[i].hole ||
+        a.contours[i].pts.size() != b.contours[i].pts.size())
+      return false;
+    for (std::size_t j = 0; j < a.contours[i].pts.size(); ++j)
+      if (a.contours[i].pts[j].x != b.contours[i].pts[j].x ||
+          a.contours[i].pts[j].y != b.contours[i].pts[j].y)
+        return false;
+  }
+  return true;
+}
+
+/// Minimum 16-client vs 1-client throughput ratio the gate requires on
+/// hosts with >= 8 hardware threads. PSCLIP_SERVICE_GATE overrides.
+double min_speedup() {
+  if (const char* s = std::getenv("PSCLIP_SERVICE_GATE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.5;
+}
+
+struct RequestSpec {
+  PolygonSet subject, clip;
+  BoolOp op = BoolOp::kIntersection;
+  Engine engine = Engine::kAuto;
+};
+
+struct RunResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t hits = 0, misses = 0, evictions = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace psclip;
+  bench::header("Service throughput — concurrent clients over one pool",
+                "serving-layer gate; DESIGN.md §12");
+
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  par::ThreadPool pool(hw);
+
+  // Mixed workload: 16 small kAuto pairs + 8 medium kSlab pairs, replayed
+  // round-robin. The slab pairs re-present the same contours on every lap,
+  // which is exactly the reuse the prepared cache exists for.
+  std::vector<RequestSpec> specs;
+  const BoolOp ops[4] = {BoolOp::kIntersection, BoolOp::kUnion,
+                         BoolOp::kDifference, BoolOp::kXor};
+  for (int i = 0; i < 16; ++i) {
+    const auto p = data::synthetic_pair(7000 + i, 120);
+    specs.push_back({p.subject, p.clip, ops[i % 4], Engine::kAuto});
+  }
+  for (int i = 0; i < 8; ++i) {
+    const auto p = data::synthetic_pair(8000 + i, 600);
+    specs.push_back({p.subject, p.clip, ops[i % 4], Engine::kSlab});
+  }
+  std::size_t total_verts = 0;
+  for (const auto& s : specs)
+    total_verts += s.subject.num_vertices() + s.clip.num_vertices();
+  std::printf("workload: %zu unique requests (%zu vertices), pool=%u "
+              "threads\n\n",
+              specs.size(), total_verts, hw);
+
+  // Serial references, and the identity gate every measured configuration
+  // is checked against (untimed).
+  std::vector<PolygonSet> refs;
+  refs.reserve(specs.size());
+  for (const auto& s : specs) {
+    ClipOptions copts;
+    copts.engine = s.engine;
+    copts.pool = &pool;
+    refs.push_back(clip(s.subject, s.clip, s.op, copts));
+  }
+
+  bench::JsonReport report;
+  report.field("bench", std::string("service_throughput"));
+  report.field("workload",
+               std::string("16 x synthetic_pair(120) kAuto + "
+                           "8 x synthetic_pair(600) kSlab"));
+  report.field("unique_requests", static_cast<long long>(specs.size()));
+  report.field("total_vertices", static_cast<long long>(total_verts));
+  report.field("pool_threads", static_cast<long long>(hw));
+  report.field("gate_min_speedup", min_speedup());
+
+  constexpr std::size_t kTotalRequests = 1152;  // divisible by 1, 4, 16
+  bool gate_ok = true;
+  double rps_1_cache = 0.0, rps_16_cache = 0.0;
+
+  std::printf("%8s %6s | %10s %10s %10s | %8s %8s %8s\n", "clients", "cache",
+              "req/s", "p50 (ms)", "p99 (ms)", "hits", "misses", "evict");
+
+  for (const bool cache_on : {true, false}) {
+    for (const int clients : {1, 4, 16}) {
+      svc::ServiceOptions sopts;
+      sopts.enable_cache = cache_on;
+      sopts.max_queued = 1024;
+      svc::ClipService service(pool, sopts);
+
+      // Warm-up lap (untimed): touches every request once, populates the
+      // cache, and runs the identity gate.
+      for (std::size_t i = 0; i < specs.size(); ++i) {
+        svc::ClipRequest req;
+        req.subject = specs[i].subject;
+        req.clip = specs[i].clip;
+        req.op = specs[i].op;
+        req.engine = specs[i].engine;
+        const svc::ClipResult res = service.submit(req);
+        if (!identical(res.output, refs[i])) {
+          std::fprintf(stderr,
+                       "FAIL: service output diverged from the serial "
+                       "reference (request %zu, clients=%d, cache=%d)\n",
+                       i, clients, cache_on);
+          gate_ok = false;
+        }
+      }
+
+      const std::size_t per_client =
+          kTotalRequests / static_cast<std::size_t>(clients);
+      std::vector<double> latencies(kTotalRequests);
+      std::atomic<std::uint64_t> failures{0};
+      par::WallTimer wall;
+      std::vector<std::thread> threads;
+      threads.reserve(static_cast<std::size_t>(clients));
+      for (int t = 0; t < clients; ++t) {
+        threads.emplace_back([&, t] {
+          for (std::size_t k = 0; k < per_client; ++k) {
+            const std::size_t i =
+                (static_cast<std::size_t>(t) * 7 + k) % specs.size();
+            svc::ClipRequest req;
+            req.subject = specs[i].subject;
+            req.clip = specs[i].clip;
+            req.op = specs[i].op;
+            req.engine = specs[i].engine;
+            par::WallTimer timer;
+            try {
+              (void)service.submit(req);
+            } catch (const Error&) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            latencies[static_cast<std::size_t>(t) * per_client + k] =
+                timer.seconds();
+          }
+        });
+      }
+      for (auto& th : threads) th.join();
+      const double elapsed = wall.seconds();
+
+      if (failures.load() != 0) {
+        std::fprintf(stderr, "FAIL: %llu request(s) errored (clients=%d)\n",
+                     static_cast<unsigned long long>(failures.load()),
+                     clients);
+        gate_ok = false;
+      }
+
+      std::sort(latencies.begin(), latencies.end());
+      const auto quantile = [&](double q) {
+        return latencies[static_cast<std::size_t>(
+                   q * static_cast<double>(latencies.size() - 1))] *
+               1e3;
+      };
+      RunResult r;
+      r.rps = elapsed > 0 ? static_cast<double>(kTotalRequests) / elapsed
+                          : 0.0;
+      r.p50_ms = quantile(0.50);
+      r.p99_ms = quantile(0.99);
+      if (const auto* cache = service.cache()) {
+        r.hits = cache->hits();
+        r.misses = cache->misses();
+        r.evictions = cache->evictions();
+        if (r.hits == 0) {
+          std::fprintf(stderr,
+                       "FAIL: cache-on run recorded zero hits "
+                       "(clients=%d)\n",
+                       clients);
+          gate_ok = false;
+        }
+      }
+
+      std::printf("%8d %6s | %10.0f %10.3f %10.3f | %8llu %8llu %8llu\n",
+                  clients, cache_on ? "on" : "off", r.rps, r.p50_ms, r.p99_ms,
+                  static_cast<unsigned long long>(r.hits),
+                  static_cast<unsigned long long>(r.misses),
+                  static_cast<unsigned long long>(r.evictions));
+
+      report.row("throughput");
+      report.cell("clients", static_cast<long long>(clients));
+      report.cell("cache", std::string(cache_on ? "on" : "off"));
+      report.cell("requests", static_cast<long long>(kTotalRequests));
+      report.cell("rps", r.rps);
+      report.cell("p50_ms", r.p50_ms);
+      report.cell("p99_ms", r.p99_ms);
+      report.cell("cache_hits", static_cast<long long>(r.hits));
+      report.cell("cache_misses", static_cast<long long>(r.misses));
+      report.cell("cache_evictions", static_cast<long long>(r.evictions));
+
+      if (cache_on && clients == 1) rps_1_cache = r.rps;
+      if (cache_on && clients == 16) rps_16_cache = r.rps;
+    }
+  }
+
+  const double speedup = rps_1_cache > 0 ? rps_16_cache / rps_1_cache : 0.0;
+  const double need = min_speedup();
+  std::printf("\n16-client vs 1-client throughput (cache on): %.2fx "
+              "(gate %.2fx, %s)\n",
+              speedup, need, hw >= 8 ? "enforced" : "skipped: < 8 threads");
+  report.field("speedup_16_vs_1", speedup);
+  report.field("gate_enforced", static_cast<long long>(hw >= 8 ? 1 : 0));
+  if (hw >= 8 && speedup < need) {
+    std::fprintf(stderr,
+                 "FAIL: 16-client throughput %.2fx the serial rate < "
+                 "required %.2fx\n",
+                 speedup, need);
+    gate_ok = false;
+  }
+  report.field("gate_ok", static_cast<long long>(gate_ok ? 1 : 0));
+
+  if (const char* path = bench::json_path(argc, argv)) {
+    if (!report.write_file(path)) return 1;
+    std::printf("wrote %s\n", path);
+  }
+  return gate_ok ? 0 : 1;
+}

@@ -3,6 +3,8 @@
 //   psclip_cli <op> <subject-file> <clip-file> [--engine=E] [--out=FMT]
 //              [--sanitize] [--trace-out=FILE] [--metrics]
 //              [--deadline-ms=N] [--max-memory-mb=N] [--allow-partial]
+//   psclip_cli --serve-replay=FILE [--clients=N] [--no-cache] [--engine=E]
+//              [--sanitize] [--metrics]
 //
 //   op        : intersection | union | difference | xor
 //   files     : WKT (POLYGON/MULTIPOLYGON) or GeoJSON geometry, detected by
@@ -22,6 +24,18 @@
 //   --allow-partial   : with the slab engine, emit the completed slabs when
 //               the deadline/budget trips instead of failing; the missing
 //               y-ranges are reported on stderr and the exit code stays 0.
+//
+// --serve-replay drives the svc::ClipService serving layer instead of one
+// direct clip: FILE holds one request per line ("<op> <subject-file>
+// <clip-file>"; blank lines and '#' comments skipped), --clients=N client
+// threads (default 4) each replay the whole request list concurrently
+// through one service, and a throughput summary (requests/sec, p50/p99
+// latency, prepared-cache hit/miss/eviction meters) is printed to stderr.
+// The first client's results are printed as "<line>: area=<signed area>"
+// rows on stdout, and every client's results are checked byte-identical to
+// a direct psclip::clip call — the serving layer's identity guarantee,
+// verified on whatever workload the replay file describes. --no-cache turns
+// the service's prepared-contour cache off.
 //
 // Malformed input files are rejected with the byte offset of the first
 // problem (the parsers never hand the clippers NaN/Inf coordinates).
@@ -45,16 +59,23 @@
 //   echo 'POLYGON ((5 5, 15 5, 15 15, 5 15, 5 5))' > b.wkt
 //   psclip_cli intersection a.wkt b.wkt --out=area
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "parallel/timing.hpp"
 #include "psclip.hpp"
+#include "svc/clip_service.hpp"
 
 namespace {
 
@@ -117,7 +138,9 @@ int usage() {
                "<subject-file> <clip-file> [--engine=auto|vatti|martinez|"
                "scanbeam|slab] [--out=wkt|geojson|area] [--sanitize] "
                "[--trace-out=FILE] [--metrics] [--deadline-ms=N] "
-               "[--max-memory-mb=N] [--allow-partial]\n");
+               "[--max-memory-mb=N] [--allow-partial]\n"
+               "   or: psclip_cli --serve-replay=FILE [--clients=N] "
+               "[--no-cache] [--engine=E] [--sanitize] [--metrics]\n");
   return 2;
 }
 
@@ -151,9 +174,192 @@ std::optional<long long> parse_positive(const std::string& s) {
   return v;
 }
 
+bool bit_identical(const psclip::geom::PolygonSet& a,
+                   const psclip::geom::PolygonSet& b) {
+  if (a.contours.size() != b.contours.size()) return false;
+  for (std::size_t i = 0; i < a.contours.size(); ++i) {
+    const auto& ca = a.contours[i];
+    const auto& cb = b.contours[i];
+    if (ca.hole != cb.hole || ca.pts.size() != cb.pts.size()) return false;
+    for (std::size_t j = 0; j < ca.pts.size(); ++j)
+      if (ca.pts[j].x != cb.pts[j].x || ca.pts[j].y != cb.pts[j].y)
+        return false;
+  }
+  return true;
+}
+
+/// --serve-replay mode: replay a request file through svc::ClipService from
+/// N concurrent clients and report throughput + cache meters.
+int serve_replay(const std::string& replay_path, int argc, char** argv) {
+  psclip::Engine engine = psclip::Engine::kAuto;
+  bool sanitize = false, metrics = false, no_cache = false;
+  long long clients = 4;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--engine=", 0) == 0) {
+      const auto e = parse_engine(arg.substr(9));
+      if (!e) return usage();
+      engine = *e;
+    } else if (arg.rfind("--clients=", 0) == 0) {
+      const auto v = parse_positive(arg.substr(10));
+      if (!v || *v > 256) return usage();
+      clients = *v;
+    } else if (arg == "--no-cache") {
+      no_cache = true;
+    } else if (arg == "--sanitize") {
+      sanitize = true;
+    } else if (arg == "--metrics") {
+      metrics = true;
+    } else {
+      return usage();
+    }
+  }
+
+  std::ifstream f(replay_path);
+  if (!f) {
+    std::fprintf(stderr, "psclip: cannot open %s\n", replay_path.c_str());
+    return 1;
+  }
+  struct Item {
+    psclip::geom::BoolOp op;
+    const psclip::geom::PolygonSet* subject;
+    const psclip::geom::PolygonSet* clip;
+  };
+  // Load each referenced geometry file once — the replay file is expected
+  // to re-reference a few layers many times (that is what the prepared
+  // cache is for).
+  std::map<std::string, psclip::geom::PolygonSet> files;
+  const auto file_of =
+      [&](const std::string& p) -> const psclip::geom::PolygonSet* {
+    const auto it = files.find(p);
+    if (it != files.end()) return &it->second;
+    const auto loaded = load(p, sanitize);
+    if (!loaded) return nullptr;
+    return &files.emplace(p, *loaded).first->second;
+  };
+  std::vector<Item> items;
+  std::string line;
+  for (std::size_t lineno = 1; std::getline(f, line); ++lineno) {
+    std::istringstream ls(line);
+    std::string op_word, subj_path, clip_path;
+    if (!(ls >> op_word) || op_word[0] == '#') continue;
+    const auto op = parse_op(op_word);
+    if (!op || !(ls >> subj_path >> clip_path)) {
+      std::fprintf(stderr, "psclip: %s:%zu: expected '<op> <subject-file> "
+                           "<clip-file>'\n",
+                   replay_path.c_str(), lineno);
+      return 2;
+    }
+    const auto* subject = file_of(subj_path);
+    const auto* clip = file_of(clip_path);
+    if (!subject || !clip) return 1;
+    items.push_back({*op, subject, clip});
+  }
+  if (items.empty()) {
+    std::fprintf(stderr, "psclip: %s: no requests\n", replay_path.c_str());
+    return 2;
+  }
+
+  psclip::par::ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  psclip::obs::TraceRecorder recorder;
+  psclip::svc::ServiceOptions sopts;
+  sopts.enable_cache = !no_cache;
+  sopts.max_queued = 1024;
+  if (metrics) sopts.trace_sink = &recorder;
+  psclip::svc::ClipService service(pool, sopts);
+
+  // Serial references: the identity bar every concurrent replay result is
+  // held to (DESIGN.md §12).
+  std::vector<psclip::geom::PolygonSet> refs;
+  refs.reserve(items.size());
+  for (const Item& it : items) {
+    psclip::ClipOptions copts;
+    copts.engine = engine;
+    copts.pool = &pool;
+    refs.push_back(psclip::clip(*it.subject, *it.clip, it.op, copts));
+  }
+
+  std::atomic<std::uint64_t> mismatches{0}, errors{0};
+  std::vector<double> latencies(static_cast<std::size_t>(clients) *
+                                items.size());
+  std::vector<psclip::geom::PolygonSet> first_client(items.size());
+  psclip::par::WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(clients));
+  for (long long t = 0; t < clients; ++t) {
+    threads.emplace_back([&, t] {
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        psclip::svc::ClipRequest req;
+        req.subject = *items[i].subject;
+        req.clip = *items[i].clip;
+        req.op = items[i].op;
+        req.engine = engine;
+        psclip::par::WallTimer timer;
+        try {
+          psclip::svc::ClipResult res = service.submit(req);
+          latencies[static_cast<std::size_t>(t) * items.size() + i] =
+              timer.seconds();
+          if (!bit_identical(res.output, refs[i]))
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          if (t == 0) first_client[i] = std::move(res.output);
+        } catch (const psclip::Error& e) {
+          errors.fetch_add(1, std::memory_order_relaxed);
+          std::fprintf(stderr, "psclip: request %zu: %s\n", i + 1, e.what());
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const double elapsed = wall.seconds();
+
+  for (std::size_t i = 0; i < items.size(); ++i)
+    std::printf("%zu: area=%.17g\n", i + 1,
+                psclip::geom::signed_area(first_client[i]));
+
+  std::sort(latencies.begin(), latencies.end());
+  const auto quantile = [&](double q) {
+    const std::size_t k = static_cast<std::size_t>(
+        q * static_cast<double>(latencies.size() - 1));
+    return latencies[k] * 1e3;
+  };
+  const std::uint64_t total = service.completed();
+  std::fprintf(stderr,
+               "psclip: served %llu requests from %lld client(s) in %.3fs "
+               "(%.0f req/s, p50 %.3fms, p99 %.3fms)\n",
+               static_cast<unsigned long long>(total), clients, elapsed,
+               elapsed > 0 ? static_cast<double>(total) / elapsed : 0.0,
+               quantile(0.50), quantile(0.99));
+  if (const auto* cache = service.cache())
+    std::fprintf(stderr,
+                 "psclip: cache: %llu hits, %llu misses, %llu evictions, "
+                 "%llu bytes resident\n",
+                 static_cast<unsigned long long>(cache->hits()),
+                 static_cast<unsigned long long>(cache->misses()),
+                 static_cast<unsigned long long>(cache->evictions()),
+                 static_cast<unsigned long long>(cache->resident_bytes()));
+  else
+    std::fprintf(stderr, "psclip: cache: off\n");
+  if (metrics)
+    std::fputs(recorder.metrics().snapshot().to_text().c_str(), stderr);
+  if (mismatches.load() != 0) {
+    std::fprintf(stderr,
+                 "psclip: FAIL: %llu result(s) diverged from the serial "
+                 "reference\n",
+                 static_cast<unsigned long long>(mismatches.load()));
+    return 1;
+  }
+  return errors.load() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 &&
+      std::strncmp(argv[1], "--serve-replay=", 15) == 0) {
+    const std::string path = std::string(argv[1]).substr(15);
+    if (path.empty()) return usage();
+    return serve_replay(path, argc, argv);
+  }
   if (argc < 4) return usage();
 
   const auto op = parse_op(argv[1]);

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -141,48 +142,66 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
   // their schedule ys go into one shared globally merged y-schedule that
   // slab tasks slice instead of re-sorting, and the strict containment is
   // what makes the slice exact.
-  std::vector<seq::PreparedContour> sub_prep, clip_prep;
-  std::vector<std::uint8_t> sub_ok, clip_ok, sub_well, clip_well;
+  // Two ownership modes behind one pointer view: without a cache the
+  // fragments live in the local *_own vectors (the pre-cache behavior);
+  // with Alg2Options::prepared_cache they are shared immutable fragments
+  // held alive for this run by the *_held shared_ptrs. Downstream code
+  // reads only the *_prep pointer views (null = degenerate contour), so it
+  // cannot tell the modes apart — the basis of the cache's byte-identity.
+  std::vector<seq::PreparedContour> sub_own, clip_own;
+  std::vector<std::shared_ptr<const seq::PreparedContour>> sub_held, clip_held;
+  std::vector<const seq::PreparedContour*> sub_prep, clip_prep;
+  std::vector<std::uint8_t> sub_well, clip_well;
   std::vector<double> shared_ys;
   if (fused) {
     obs::ScopedSpan prep_span(sink, "alg2.fused_prep", obs::Cat::kPhase);
     auto prep_input = [&](const geom::PolygonSet& input,
                           const std::vector<geom::BBox>& boxes,
-                          std::vector<seq::PreparedContour>& prep,
-                          std::vector<std::uint8_t>& ok,
+                          std::vector<seq::PreparedContour>& own,
+                          std::vector<std::shared_ptr<
+                              const seq::PreparedContour>>& held,
+                          std::vector<const seq::PreparedContour*>& prep,
                           std::vector<std::uint8_t>& well, bool is_clip) {
       const std::size_t n = input.num_contours();
-      prep.resize(n);
-      ok.assign(n, 0);
+      prep.assign(n, nullptr);
       well.assign(n, 0);
+      if (opts.prepared_cache)
+        held.resize(n);
+      else
+        own.resize(n);
       pool.parallel_for(
           n,
           [&](std::size_t i) {
-            ok[i] =
-                seq::prepare_contour(input.contours[i], is_clip, prep[i]) ? 1
-                                                                          : 0;
-            if (!ok[i]) return;
+            if (opts.prepared_cache) {
+              held[i] =
+                  opts.prepared_cache->prepared(input.contours[i], is_clip);
+              prep[i] = held[i].get();
+            } else if (seq::prepare_contour(input.contours[i], is_clip,
+                                            own[i])) {
+              prep[i] = &own[i];
+            }
+            if (!prep[i]) return;
             const SlabRange r =
                 slab_range(boxes[i].ymin, boxes[i].ymax, bounds, nslabs);
             well[i] = r.lo <= r.hi && r.single() &&
-                              bounds[r.lo] < prep[i].box.ymin &&
-                              prep[i].box.ymax < bounds[r.lo + 1]
+                              bounds[r.lo] < prep[i]->box.ymin &&
+                              prep[i]->box.ymax < bounds[r.lo + 1]
                           ? 1
                           : 0;
           },
           /*grain=*/16);
     };
-    prep_input(subject, sub_boxes, sub_prep, sub_ok, sub_well,
+    prep_input(subject, sub_boxes, sub_own, sub_held, sub_prep, sub_well,
                /*is_clip=*/false);
-    prep_input(clip, clip_boxes, clip_prep, clip_ok, clip_well,
+    prep_input(clip, clip_boxes, clip_own, clip_held, clip_prep, clip_well,
                /*is_clip=*/true);
     std::vector<std::size_t> runs{0};
-    auto collect = [&](const std::vector<seq::PreparedContour>& prep,
+    auto collect = [&](const std::vector<const seq::PreparedContour*>& prep,
                        const std::vector<std::uint8_t>& well) {
       for (std::size_t i = 0; i < prep.size(); ++i) {
-        if (!well[i] || prep[i].ys.empty()) continue;
-        shared_ys.insert(shared_ys.end(), prep[i].ys.begin(),
-                         prep[i].ys.end());
+        if (!well[i] || prep[i]->ys.empty()) continue;
+        shared_ys.insert(shared_ys.end(), prep[i]->ys.begin(),
+                         prep[i]->ys.end());
         runs.push_back(shared_ys.size());
       }
     };
@@ -273,8 +292,8 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
       bool finite = true;
       auto fused_input = [&](const geom::PolygonSet& input,
                              const SlabContourIndex& idx,
-                             const std::vector<seq::PreparedContour>& prep,
-                             const std::vector<std::uint8_t>& ok,
+                             const std::vector<
+                                 const seq::PreparedContour*>& prep,
                              const std::vector<std::uint8_t>& well,
                              bool is_clip) {
         const std::span<const SlabEntry> list = idx.slab(t);
@@ -289,8 +308,7 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
         for (const SlabEntry& e : list) {
           arena.refs.push_back(&input.contours[e.contour]);
           arena.inside.push_back(e.inside ? 1 : 0);
-          arena.prep_refs.push_back(ok[e.contour] ? &prep[e.contour]
-                                                  : nullptr);
+          arena.prep_refs.push_back(prep[e.contour]);
           arena.in_shared.push_back(well[e.contour] ? 1 : 0);
         }
         if (!seq::clip_bounds_to_slab(arena.prep_refs, arena.refs,
@@ -299,9 +317,9 @@ geom::PolygonSet slab_clip(const geom::PolygonSet& subject,
                                       bt, sched, arena.run_end, &fstats))
           finite = false;
       };
-      fused_input(subject, sub_idx, sub_prep, sub_ok, sub_well,
+      fused_input(subject, sub_idx, sub_prep, sub_well,
                   /*is_clip=*/false);
-      fused_input(clip, clip_idx, clip_prep, clip_ok, clip_well,
+      fused_input(clip, clip_idx, clip_prep, clip_well,
                   /*is_clip=*/true);
       seq::sort_minima(bt);
       // The slab's bound table and schedule are fully assembled: raise the

@@ -11,6 +11,9 @@
 namespace psclip::obs {
 class TraceSink;
 }
+namespace psclip::seq {
+class PreparedSource;
+}
 
 namespace psclip::mt {
 
@@ -105,6 +108,16 @@ struct Alg2Options {
   /// governance trip propagates out of slab_clip as its precise Error
   /// (kCancelled / kDeadlineExceeded / kBudgetExceeded).
   bool allow_partial = false;
+  /// Cross-request prepared-contour source (svc::PreparedCache). Null — the
+  /// default — prepares every contour locally inside this call, exactly the
+  /// pre-cache behavior. Non-null: the kFused setup fetches each contour's
+  /// prepared fragment from the source instead (a hit skips the whole
+  /// clean + coalesce + perturb + bound-decomposition pass), holding the
+  /// returned shared fragments alive for the duration of the run. Because
+  /// prepare_contour is a pure per-contour function of the contour bytes,
+  /// output is byte-identical with the cache on, off, hitting or missing.
+  /// The source must be thread-safe and outlive the call.
+  seq::PreparedSource* prepared_cache = nullptr;
 };
 
 /// The paper's Algorithm 2 for a pair of arbitrary polygons (also accepts

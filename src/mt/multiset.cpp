@@ -4,6 +4,7 @@
 #include <cmath>
 #include <exception>
 #include <limits>
+#include <memory>
 #include <optional>
 #include <string>
 #include <utility>
@@ -312,26 +313,43 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
   // then concatenate the prepared fragments. Every prep step is
   // per-contour deterministic, so a fragment copy is bit for bit what a
   // materializing vatti_clip would have rebuilt inside the slab.
-  std::vector<seq::PreparedContour> sub_prep, clip_prep;
-  std::vector<std::uint8_t> sub_ok, clip_ok;
+  // Ownership as in slab_clip's fused setup: fragments are either prepared
+  // locally into the *_own vectors or fetched from
+  // MultisetOptions::prepared_cache and held alive by the *_held
+  // shared_ptrs; slab tasks read only the *_prep pointer views (null =
+  // degenerate after cleaning).
+  std::vector<seq::PreparedContour> sub_own, clip_own;
+  std::vector<std::shared_ptr<const seq::PreparedContour>> sub_held, clip_held;
+  std::vector<const seq::PreparedContour*> sub_prep, clip_prep;
   if (opts.fused) {
     obs::ScopedSpan prep_span(sink, "multiset.fused_prep", obs::Cat::kPhase);
     auto prep_recs = [&](const std::vector<PolyRec>& recs,
-                         std::vector<seq::PreparedContour>& prep,
-                         std::vector<std::uint8_t>& ok, bool is_clip) {
-      prep.resize(recs.size());
-      ok.assign(recs.size(), 0);
+                         std::vector<seq::PreparedContour>& own,
+                         std::vector<std::shared_ptr<
+                             const seq::PreparedContour>>& held,
+                         std::vector<const seq::PreparedContour*>& prep,
+                         bool is_clip) {
+      prep.assign(recs.size(), nullptr);
+      if (opts.prepared_cache)
+        held.resize(recs.size());
+      else
+        own.resize(recs.size());
       pool.parallel_for(
           recs.size(),
           [&](std::size_t i) {
-            ok[i] = seq::prepare_contour(*recs[i].contour, is_clip, prep[i])
-                        ? 1
-                        : 0;
+            if (opts.prepared_cache) {
+              held[i] =
+                  opts.prepared_cache->prepared(*recs[i].contour, is_clip);
+              prep[i] = held[i].get();
+            } else if (seq::prepare_contour(*recs[i].contour, is_clip,
+                                            own[i])) {
+              prep[i] = &own[i];
+            }
           },
           /*grain=*/16);
     };
-    prep_recs(srecs, sub_prep, sub_ok, /*is_clip=*/false);
-    prep_recs(crecs, clip_prep, clip_ok, /*is_clip=*/true);
+    prep_recs(srecs, sub_own, sub_held, sub_prep, /*is_clip=*/false);
+    prep_recs(crecs, clip_own, clip_held, clip_prep, /*is_clip=*/true);
   }
   const double t_assign = phase_timer.seconds();
   const double t_assign_cpu = phase_cpu_timer.seconds();
@@ -390,12 +408,12 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
       arena.run_end.push_back(0);
       bool finite = true;
       auto append_ids = [&](const std::vector<std::uint32_t>& ids,
-                            const std::vector<seq::PreparedContour>& prep,
-                            const std::vector<std::uint8_t>& ok) {
+                            const std::vector<
+                                const seq::PreparedContour*>& prep) {
         for (const std::uint32_t id : ids) {
-          if (!ok[id]) continue;  // degenerate after cleaning: skipped, same
-                                  // as the materializing prep loop
-          const seq::PreparedContour& pc = prep[id];
+          if (!prep[id]) continue;  // degenerate after cleaning: skipped,
+                                    // same as the materializing prep loop
+          const seq::PreparedContour& pc = *prep[id];
           if (!pc.finite) {
             finite = false;
             continue;
@@ -409,8 +427,8 @@ geom::PolygonSet multiset_clip(const geom::PolygonSet& subject,
           }
         }
       };
-      append_ids(slab_subject[t], sub_prep, sub_ok);
-      append_ids(slab_clip_in[t], clip_prep, clip_ok);
+      append_ids(slab_subject[t], sub_prep);
+      append_ids(slab_clip_in[t], clip_prep);
       seq::sort_minima(bt);
       arena_charge.raise_to(arena.resident_bytes());
       so.load.bound_build_ns =

@@ -10,6 +10,9 @@
 namespace psclip::obs {
 class TraceSink;
 }
+namespace psclip::seq {
+class PreparedSource;
+}
 
 namespace psclip::mt {
 
@@ -79,6 +82,11 @@ struct MultisetOptions {
   /// abandoned by a governance trip report Rung::kPartialResult and are
   /// recorded in Alg2Stats::partial instead of failing the request.
   bool allow_partial = false;
+  /// Cross-request prepared-contour source, same contract as
+  /// Alg2Options::prepared_cache: null prepares locally; non-null fetches
+  /// shared immutable fragments from the source during the fused setup.
+  /// Byte-identical output either way.
+  seq::PreparedSource* prepared_cache = nullptr;
 };
 
 /// Clip two *sets* of polygons (e.g. two GIS layers) — the paper's

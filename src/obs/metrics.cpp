@@ -35,6 +35,12 @@ std::string MetricsSnapshot::to_text() const {
     out += std::to_string(v);
     out += "\n";
   }
+  for (const auto& [name, v] : gauges) {
+    out += name;
+    out += " = ";
+    out += std::to_string(v);
+    out += " (gauge)\n";
+  }
   for (const auto& h : histograms) {
     char line[160];
     std::snprintf(line, sizeof line,
@@ -50,6 +56,14 @@ std::string MetricsSnapshot::to_json() const {
   std::string out = "{\n  \"counters\": {";
   bool first = true;
   for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    out += "    \"" + name + "\": " + std::to_string(v);
+    first = false;
+  }
+  out += first ? "}" : "\n  }";
+  out += ",\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
     out += first ? "\n" : ",\n";
     out += "    \"" + name + "\": " + std::to_string(v);
     first = false;
@@ -80,6 +94,13 @@ Counter& Metrics::counter(const std::string& name) {
   return *slot;
 }
 
+Gauge& Metrics::gauge(const std::string& name) {
+  std::lock_guard lk(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
 Histogram& Metrics::histogram(const std::string& name) {
   std::lock_guard lk(mu_);
   auto& slot = histograms_[name];
@@ -93,6 +114,9 @@ MetricsSnapshot Metrics::snapshot() const {
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_)
     snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace_back(name, g->value());
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     MetricsSnapshot::HistogramRow row;

@@ -26,6 +26,22 @@ class Counter {
   std::atomic<std::int64_t> v_{0};
 };
 
+/// Last-value gauge (cache residency, queue depth, in-flight requests).
+/// Relaxed atomics, same discipline as Counter: a gauge is a statistic.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t delta) {
+    v_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
 /// Fixed-bucket latency histogram. Bucket boundaries are a hard-coded
 /// 1-2-5 ladder from 1 µs to 1 s — wide enough for everything from one
 /// rect-clip to a whole multi-million-vertex request — so recording is one
@@ -83,6 +99,7 @@ struct MetricsSnapshot {
   };
 
   std::vector<std::pair<std::string, std::int64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramRow> histograms;
 
   /// Human-readable table (one counter or histogram per line).
@@ -99,6 +116,7 @@ struct MetricsSnapshot {
 class Metrics {
  public:
   Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
   /// Copy out every metric. Safe to call while other threads record (values
@@ -108,6 +126,7 @@ class Metrics {
  private:
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 

@@ -87,6 +87,10 @@ void TraceRecorder::observe(const char* histogram, double seconds) {
   metrics_.histogram(histogram).observe(seconds);
 }
 
+void TraceRecorder::set_gauge(const char* name, std::int64_t value) {
+  metrics_.gauge(name).set(value);
+}
+
 std::vector<TraceRecorder::Span> TraceRecorder::spans() const {
   std::vector<Span> all;
   bufs_.for_each([&](const ThreadBuf& b) {

@@ -56,6 +56,7 @@ class TraceRecorder final : public TraceSink {
   void span_arg(SpanId id, const char* key, std::int64_t value) override;
   void add_counter(const char* name, std::int64_t delta) override;
   void observe(const char* histogram, double seconds) override;
+  void set_gauge(const char* name, std::int64_t value) override;
 
   Metrics& metrics() { return metrics_; }
   const Metrics& metrics() const { return metrics_; }

@@ -57,6 +57,13 @@ class TraceSink {
   /// Record one latency observation (seconds) into the named fixed-bucket
   /// histogram.
   virtual void observe(const char* histogram, double seconds) = 0;
+  /// Set the named last-value gauge (cache residency, queue depth, ...).
+  /// Non-pure with a no-op default so sinks written against the original
+  /// five-method contract (tests, external consumers) keep compiling.
+  virtual void set_gauge(const char* name, std::int64_t value) {
+    (void)name;
+    (void)value;
+  }
 };
 
 /// Process-wide default sink, used by instrumentation sites that have no

@@ -1,0 +1,127 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "error.hpp"
+#include "parallel/cancel.hpp"
+
+namespace psclip::par {
+
+/// FIFO admission gate for a serving layer: at most `max_in_flight` holders
+/// run concurrently, at most `max_waiting` callers queue behind them, and
+/// anything beyond that is rejected immediately with Error(kResource) — the
+/// backpressure contract a caller can retry against, never an unbounded
+/// line that hides overload as latency (DESIGN.md §12).
+///
+/// Waiters are served strictly in arrival order (a ticket queue, not a
+/// bare condition variable whose wakeup order the OS picks), so a stream of
+/// small fast requests cannot indefinitely overtake — and thereby starve —
+/// an earlier large one at the door. A waiting caller's own governance
+/// token keeps working while it queues: cancellation, deadline expiry or a
+/// blown budget abandons the wait and surfaces the precise governance code
+/// instead of blocking on capacity that may never free up.
+class AdmissionGate {
+ public:
+  /// `max_in_flight` == 0 means unlimited (the gate only counts).
+  explicit AdmissionGate(unsigned max_in_flight, unsigned max_waiting = 0)
+      : limit_(max_in_flight), max_waiting_(max_waiting) {}
+
+  AdmissionGate(const AdmissionGate&) = delete;
+  AdmissionGate& operator=(const AdmissionGate&) = delete;
+
+  /// Acquire one slot, FIFO. Throws Error(kResource) when both the
+  /// in-flight limit and the waiting line are full at entry, and the
+  /// token's precise governance Error if it trips while waiting.
+  void acquire(const CancelToken& token = {}) {
+    std::unique_lock lk(mu_);
+    if (limit_ == 0) {
+      ++in_flight_;
+      return;
+    }
+    if (in_flight_ < limit_ && queue_.empty()) {
+      ++in_flight_;
+      return;
+    }
+    if (queue_.size() >= max_waiting_)
+      throw Error(ErrorCode::kResource,
+                  "admission queue full (" + std::to_string(in_flight_) +
+                      " in flight, " + std::to_string(queue_.size()) +
+                      " waiting)");
+    const std::uint64_t my = next_ticket_++;
+    queue_.push_back(my);
+    // Poll-wait: a trip on `token` has no hook into this cv, so bound the
+    // sleep and re-check. 10 ms keeps governance responsive against an
+    // event that is rare by construction (waiting here means the service
+    // is saturated).
+    while (!(in_flight_ < limit_ && !queue_.empty() && queue_.front() == my)) {
+      if (token.stopped()) {
+        for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+          if (*it == my) {
+            queue_.erase(it);
+            break;
+          }
+        }
+        cv_.notify_all();  // the next ticket may now be at the front
+        token.rethrow_if_stopped();
+      }
+      cv_.wait_for(lk, std::chrono::milliseconds(10));
+    }
+    queue_.pop_front();
+    ++in_flight_;
+    cv_.notify_all();
+  }
+
+  /// Release a slot acquired by this thread or any other.
+  void release() {
+    {
+      std::lock_guard lk(mu_);
+      if (in_flight_ > 0) --in_flight_;
+    }
+    cv_.notify_all();
+  }
+
+  /// RAII slot: acquire in the constructor, release in the destructor.
+  class Slot {
+   public:
+    explicit Slot(AdmissionGate& gate, const CancelToken& token = {})
+        : gate_(&gate) {
+      gate_->acquire(token);
+    }
+    ~Slot() {
+      if (gate_) gate_->release();
+    }
+    Slot(Slot&& o) noexcept : gate_(o.gate_) { o.gate_ = nullptr; }
+    Slot& operator=(Slot&&) = delete;
+    Slot(const Slot&) = delete;
+    Slot& operator=(const Slot&) = delete;
+
+   private:
+    AdmissionGate* gate_;
+  };
+
+  [[nodiscard]] unsigned in_flight() const {
+    std::lock_guard lk(mu_);
+    return in_flight_;
+  }
+  [[nodiscard]] unsigned waiting() const {
+    std::lock_guard lk(mu_);
+    return static_cast<unsigned>(queue_.size());
+  }
+  [[nodiscard]] unsigned limit() const { return limit_; }
+
+ private:
+  const unsigned limit_;
+  const unsigned max_waiting_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::uint64_t> queue_;
+  std::uint64_t next_ticket_ = 0;
+  unsigned in_flight_ = 0;
+};
+
+}  // namespace psclip::par

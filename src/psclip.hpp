@@ -36,6 +36,7 @@
 #include "obs/trace.hpp"
 #include "parallel/cancel.hpp"
 #include "parallel/thread_pool.hpp"
+#include "seq/bounds.hpp"
 #include "seq/greiner_hormann.hpp"
 #include "seq/liang_barsky.hpp"
 #include "seq/martinez.hpp"
@@ -70,7 +71,42 @@ struct ClipOptions {
   /// Out-parameter: when non-null, receives the run's partial-result
   /// report (PartialReport::partial == false for every complete result).
   mt::PartialReport* partial = nullptr;
+  /// Thread pool for the parallel engines AND the kAuto selection's thread
+  /// count. Null (default) = the process-wide par::default_pool(). A
+  /// serving layer passes its own pool so every request — and the byte-
+  /// identical serial reference recomputation of a request — runs on the
+  /// same decomposition (slab count derives from pool size).
+  par::ThreadPool* pool = nullptr;
+  /// Trace + metrics sink for this call. Null (default) = the process-wide
+  /// obs::global_sink(), the pre-existing behavior; a serving layer passes
+  /// its per-service (or per-request) recorder here.
+  obs::TraceSink* trace_sink = nullptr;
+  /// Cross-request prepared-contour cache for the slab engine (see
+  /// Alg2Options::prepared_cache). Null = prepare locally. Byte-identical
+  /// output either way.
+  seq::PreparedSource* prepared_cache = nullptr;
 };
+
+/// Vertex-count threshold at which kAuto hands a clip to the parallel slab
+/// engine: below it the partition overhead outweighs the parallel win
+/// (cf. bench_fig8). Exposed so the facade tests pin the boundary.
+inline constexpr std::size_t kAutoSlabMinVertices = 20000;
+
+/// Resolve the engine a clip of `total_vertices` input vertices will run
+/// on, given the executing pool's thread count. Pure function of its
+/// arguments — the facade and svc::ClipService both dispatch through it,
+/// which is what makes a service result reproducible by a serial
+/// psclip::clip call with the same pool. Never returns kAuto: kAuto picks
+/// kSlab once the input amortizes partitioning AND the pool can actually
+/// run slabs in parallel (> 1 thread), else the sequential Vatti clipper.
+[[nodiscard]] constexpr Engine resolve_engine(Engine requested,
+                                              std::size_t total_vertices,
+                                              std::size_t pool_threads) {
+  if (requested != Engine::kAuto) return requested;
+  return total_vertices >= kAutoSlabMinVertices && pool_threads > 1
+             ? Engine::kSlab
+             : Engine::kVatti;
+}
 
 /// One-call general polygon clipping with request governance. Even-odd
 /// semantics, arbitrary inputs (see README "Semantics and contract").
@@ -81,7 +117,9 @@ struct ClipOptions {
 inline geom::PolygonSet clip(const geom::PolygonSet& subject,
                              const geom::PolygonSet& clip_poly,
                              geom::BoolOp op, const ClipOptions& copts) {
-  obs::TraceSink* const sink = obs::global_sink();
+  obs::TraceSink* const sink =
+      copts.trace_sink ? copts.trace_sink : obs::global_sink();
+  par::ThreadPool& pool = copts.pool ? *copts.pool : par::default_pool();
   obs::ScopedSpan req_span(sink, "psclip.clip", obs::Cat::kRequest);
   // Install the token for the whole request; a request that is already
   // cancelled or past its deadline does no work at all.
@@ -89,19 +127,8 @@ inline geom::PolygonSet clip(const geom::PolygonSet& subject,
   if (copts.cancel.valid()) gov_scope.emplace(copts.cancel);
   par::gov::checkpoint_now();
   if (copts.partial) *copts.partial = mt::PartialReport{};
-  auto slab = [&] {
-    mt::Alg2Options opts;
-    opts.trace_sink = sink;
-    opts.cancel = copts.cancel;
-    opts.allow_partial = copts.allow_partial;
-    mt::Alg2Stats stats;
-    geom::PolygonSet out =
-        mt::slab_clip(subject, clip_poly, op, par::default_pool(), opts,
-                      copts.partial ? &stats : nullptr);
-    if (copts.partial) *copts.partial = std::move(stats.partial);
-    return out;
-  };
-  switch (copts.engine) {
+  const std::size_t n = subject.num_vertices() + clip_poly.num_vertices();
+  switch (resolve_engine(copts.engine, n, pool.size())) {
     case Engine::kVatti:
       return seq::vatti_clip(subject, clip_poly, op);
     case Engine::kMartinez:
@@ -109,19 +136,22 @@ inline geom::PolygonSet clip(const geom::PolygonSet& subject,
     case Engine::kScanbeam: {
       core::Alg1Options opts;
       opts.trace_sink = sink;
-      return core::scanbeam_clip(subject, clip_poly, op, par::default_pool(),
-                                 nullptr, opts);
+      return core::scanbeam_clip(subject, clip_poly, op, pool, nullptr, opts);
     }
     case Engine::kSlab:
-      return slab();
-    case Engine::kAuto:
+    case Engine::kAuto:  // resolve_engine never returns kAuto
       break;
   }
-  // Heuristic: the parallel decomposition pays off once the input is big
-  // enough to amortize partitioning (cf. bench_fig8).
-  const std::size_t n = subject.num_vertices() + clip_poly.num_vertices();
-  if (n >= 20000 && par::default_pool().size() > 1) return slab();
-  return seq::vatti_clip(subject, clip_poly, op);
+  mt::Alg2Options opts;
+  opts.trace_sink = sink;
+  opts.cancel = copts.cancel;
+  opts.allow_partial = copts.allow_partial;
+  opts.prepared_cache = copts.prepared_cache;
+  mt::Alg2Stats stats;
+  geom::PolygonSet out = mt::slab_clip(subject, clip_poly, op, pool, opts,
+                                       copts.partial ? &stats : nullptr);
+  if (copts.partial) *copts.partial = std::move(stats.partial);
+  return out;
 }
 
 /// Ungoverned convenience form: clip(a, b, op [, engine]).

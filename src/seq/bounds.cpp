@@ -166,6 +166,34 @@ bool prepare_contour(const geom::Contour& in, bool is_clip,
   return true;
 }
 
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t basis) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = basis;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kPrime;
+  }
+  return h;
+}
+
+std::uint64_t contour_digest(const geom::Contour& c, bool is_clip) {
+  // Hash the coordinate doubles' bit patterns, not the Point structs, so
+  // padding bytes can never leak into the key. -0.0 and 0.0 digest
+  // differently on purpose: perturbation is a function of the bit pattern.
+  std::uint64_t h = kFnvBasis;
+  for (const geom::Point& pt : c.pts) {
+    h = fnv1a(&pt.x, sizeof pt.x, h);
+    h = fnv1a(&pt.y, sizeof pt.y, h);
+  }
+  const std::uint64_t n = c.pts.size();
+  h = fnv1a(&n, sizeof n, h);
+  const unsigned char clip_byte = is_clip ? 1 : 0;
+  h = fnv1a(&clip_byte, sizeof clip_byte, h);
+  h = fnv1a(&kPrepareDigestVersion, sizeof kPrepareDigestVersion, h);
+  return h;
+}
+
 void append_prepared(BoundTable& bt, const PreparedContour& pc) {
   // Grow geometrically: vector::reserve allocates exactly what is asked,
   // so an exact-size reserve per fragment would reallocate (and copy the

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "geom/polygon.hpp"
@@ -92,6 +93,44 @@ struct PreparedContour {
 /// run are left empty in that case.
 bool prepare_contour(const geom::Contour& in, bool is_clip,
                      PreparedContour& out);
+
+/// Version salt folded into contour_digest. Bump whenever prepare_contour's
+/// output changes for the same input bytes (a perturbation-policy change, a
+/// new cleaning rule, ...), so persisted or long-lived caches keyed on the
+/// digest can never serve a stale prepared fragment across versions.
+inline constexpr std::uint64_t kPrepareDigestVersion = 1;
+
+/// Content address of (contour bytes, prepare options): FNV-1a 64 over the
+/// vertex coordinate bit patterns in order, the vertex count, `is_clip`, and
+/// kPrepareDigestVersion. Two contours digest equal iff their vertex
+/// sequences are bit-identical under the same options — exactly the
+/// condition for prepare_contour to produce bit-identical output (the prep
+/// pipeline is a pure function of those bytes). The `hole` flag is ignored,
+/// as prepare_contour ignores it (even-odd fill).
+std::uint64_t contour_digest(const geom::Contour& c, bool is_clip);
+
+/// Raw FNV-1a 64 over `n` bytes, seeded with `basis` (pass kFnvBasis to
+/// start a fresh digest). Exposed so caches can verify keys and tests can
+/// manufacture collisions.
+inline constexpr std::uint64_t kFnvBasis = 0xcbf29ce484222325ull;
+std::uint64_t fnv1a(const void* data, std::size_t n, std::uint64_t basis);
+
+/// Source of shared immutable prepared fragments — the seam between the
+/// clip engines (mt::slab_clip / mt::multiset_clip, which only consume
+/// prepared contours) and a cross-request cache (svc::PreparedCache, which
+/// owns lifetime and eviction). Returns a fragment equal to what
+/// prepare_contour(c, is_clip, out) would produce, or null when the contour
+/// degenerates (prepare_contour returns false). Implementations must be
+/// thread-safe: the engines call prepared() from every pool worker, and a
+/// service calls into one source from many concurrent requests. Returned
+/// fragments are immutable and may outlive the source's entry (shared_ptr
+/// keeps an evicted fragment alive until its last reader drops it).
+class PreparedSource {
+ public:
+  virtual ~PreparedSource() = default;
+  virtual std::shared_ptr<const PreparedContour> prepared(
+      const geom::Contour& c, bool is_clip) = 0;
+};
 
 /// Append a prepared fragment to `bt`: edges copied with their
 /// intra-fragment `next` links rebased to the destination table, minima

@@ -1,0 +1,176 @@
+#include "svc/prepared_cache.hpp"
+
+#include <cstring>
+#include <utility>
+
+namespace psclip::svc {
+
+namespace {
+
+/// Structural size of one cache entry: the prepared fragment's containers,
+/// the key bytes kept for collision verification, and the bookkeeping
+/// structs. Same approximate-but-structural accounting discipline as the
+/// arena charges (DESIGN.md §11).
+std::uint64_t entry_cost(const std::vector<geom::Point>& key_pts,
+                         const seq::PreparedContour* pc) {
+  // 160 ≈ list node + index node + Entry header overhead per entry.
+  std::uint64_t b = key_pts.size() * sizeof(geom::Point) + 160;
+  if (pc) {
+    b += sizeof(seq::PreparedContour);
+    b += pc->pts.pts.size() * sizeof(geom::Point);
+    b += pc->bt.edges.size() * sizeof(seq::BoundEdge);
+    b += pc->bt.minima.size() * sizeof(seq::LocalMin);
+    b += pc->ys.size() * sizeof(double);
+  }
+  return b;
+}
+
+bool same_bytes(const std::vector<geom::Point>& a,
+                const std::vector<geom::Point>& b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  // Exact bit comparison (memcmp over the coordinate pairs): the digest
+  // hashes bit patterns, so verification must compare them too — operator==
+  // would conflate 0.0 with -0.0 and miscompare NaNs.
+  return std::memcmp(a.data(), b.data(), a.size() * sizeof(geom::Point)) == 0;
+}
+
+}  // namespace
+
+PreparedCache::PreparedCache(PreparedCacheConfig cfg) : cfg_(std::move(cfg)) {}
+
+PreparedCache::~PreparedCache() { clear(); }
+
+void PreparedCache::clear() {
+  std::lock_guard lk(mu_);
+  if (cfg_.budget && resident_ > 0) cfg_.budget->release(resident_);
+  resident_ = 0;
+  index_.clear();
+  lru_.clear();
+  publish_gauge_locked();
+}
+
+std::uint64_t PreparedCache::resident_bytes() const {
+  std::lock_guard lk(mu_);
+  return resident_;
+}
+
+std::size_t PreparedCache::size() const {
+  std::lock_guard lk(mu_);
+  return lru_.size();
+}
+
+void PreparedCache::evict_one_locked() {
+  Entry& victim = lru_.back();
+  auto [lo, hi] = index_.equal_range(victim.digest);
+  for (auto it = lo; it != hi; ++it) {
+    if (&*it->second == &victim) {
+      index_.erase(it);
+      break;
+    }
+  }
+  resident_ -= victim.bytes;
+  if (cfg_.budget) cfg_.budget->release(victim.bytes);
+  lru_.pop_back();
+  evictions_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.sink) cfg_.sink->add_counter("svc.cache.evictions", 1);
+}
+
+void PreparedCache::publish_gauge_locked() {
+  if (cfg_.sink)
+    cfg_.sink->set_gauge("svc.cache.resident_bytes",
+                         static_cast<std::int64_t>(resident_));
+}
+
+std::shared_ptr<const seq::PreparedContour> PreparedCache::prepared(
+    const geom::Contour& c, bool is_clip) {
+  const auto digest_fn = cfg_.digest_fn ? cfg_.digest_fn : seq::contour_digest;
+  const std::uint64_t digest = digest_fn(c, is_clip);
+
+  bool collided = false;
+  {
+    std::lock_guard lk(mu_);
+    auto [lo, hi] = index_.equal_range(digest);
+    for (auto it = lo; it != hi; ++it) {
+      Entry& e = *it->second;
+      if (e.is_clip == is_clip && same_bytes(e.key_pts, c.pts)) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        if (cfg_.sink) cfg_.sink->add_counter("svc.cache.hits", 1);
+        return e.value;
+      }
+    }
+    collided = lo != hi;
+  }
+
+  // Miss: prepare outside the lock so concurrent misses run in parallel.
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (cfg_.sink) cfg_.sink->add_counter("svc.cache.misses", 1);
+  if (collided) {
+    collisions_.fetch_add(1, std::memory_order_relaxed);
+    if (cfg_.sink) cfg_.sink->add_counter("svc.cache.collisions", 1);
+  }
+  auto pc = std::make_shared<seq::PreparedContour>();
+  std::shared_ptr<const seq::PreparedContour> value;
+  if (seq::prepare_contour(c, is_clip, *pc)) value = std::move(pc);
+
+  Entry entry;
+  entry.digest = digest;
+  entry.key_pts = c.pts;
+  entry.is_clip = is_clip;
+  entry.value = value;
+  entry.bytes = entry_cost(entry.key_pts, value.get());
+
+  std::lock_guard lk(mu_);
+  // A racing miss on the same contour may have inserted while we prepared;
+  // adopt its entry so both callers share one fragment (the bytes are
+  // identical by determinism of prepare_contour either way).
+  {
+    auto [lo, hi] = index_.equal_range(digest);
+    for (auto it = lo; it != hi; ++it) {
+      Entry& e = *it->second;
+      if (e.is_clip == is_clip && same_bytes(e.key_pts, c.pts)) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return e.value;
+      }
+    }
+  }
+  if (cfg_.byte_limit == 0 || entry.bytes > cfg_.byte_limit) {
+    // Caching disabled, or the entry alone exceeds the cache's own limit.
+    if (cfg_.byte_limit != 0) {
+      bypasses_.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.sink) cfg_.sink->add_counter("svc.cache.bypasses", 1);
+    }
+    return value;
+  }
+  // Enforce the cache's own limit, then fit the external budget — evicting
+  // BEFORE committing the charge (charge_transient probes without the
+  // sticky blown flag), so a dedicated cache budget never blows: residency
+  // shrinks to what fits instead.
+  while (resident_ + entry.bytes > cfg_.byte_limit && !lru_.empty())
+    evict_one_locked();
+  if (cfg_.budget) {
+    bool fits = cfg_.budget->charge_transient(entry.bytes);
+    while (!fits && !lru_.empty()) {
+      evict_one_locked();
+      fits = cfg_.budget->charge_transient(entry.bytes);
+    }
+    // try_charge only after a successful probe: a failed try_charge sets
+    // the sticky blown flag, and "can't cache" must stay a bypass, not a
+    // request-killing governance trip. (With a cache-dedicated budget the
+    // probe's verdict holds — every charge serializes under mu_.)
+    if (!fits || !cfg_.budget->try_charge(entry.bytes)) {
+      bypasses_.fetch_add(1, std::memory_order_relaxed);
+      if (cfg_.sink) cfg_.sink->add_counter("svc.cache.bypasses", 1);
+      publish_gauge_locked();
+      return value;
+    }
+  }
+  resident_ += entry.bytes;
+  lru_.push_front(std::move(entry));
+  index_.emplace(digest, lru_.begin());
+  publish_gauge_locked();
+  return value;
+}
+
+}  // namespace psclip::svc

@@ -173,6 +173,46 @@ TEST_F(CliTest, MetricsPrintsSnapshot) {
   EXPECT_NE(out.find("alg2.request_seconds"), std::string::npos) << out;
 }
 
+TEST_F(CliTest, ServeReplayServesTheFileFromConcurrentClients) {
+  const std::string tag = std::to_string(getpid());
+  const std::string replay =
+      testing::TempDir() + "/psclip_cli_" + tag + "_replay.txt";
+  std::ofstream(replay) << "# two requests over the shared layers\n"
+                        << "intersection " << a_path_ << " " << b_path_
+                        << "\n"
+                        << "union " << a_path_ << " " << b_path_ << "\n";
+  int rc = -1;
+  const std::string out =
+      run("--serve-replay=" + replay + " --clients=3 --engine=slab", &rc);
+  EXPECT_EQ(rc, 0) << out;
+  // Per-line areas from the first client (stdout)...
+  EXPECT_NE(out.find("1: area=2"), std::string::npos) << out;   // ~25
+  EXPECT_NE(out.find("2: area=1"), std::string::npos) << out;   // ~175
+  // ...and the serving summary with cache meters (stderr).
+  EXPECT_NE(out.find("served 6 requests from 3 client(s)"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("hits"), std::string::npos) << out;
+
+  const std::string off = run(
+      "--serve-replay=" + replay + " --clients=1 --no-cache", &rc);
+  std::remove(replay.c_str());
+  EXPECT_EQ(rc, 0) << off;
+  EXPECT_NE(off.find("cache: off"), std::string::npos) << off;
+}
+
+TEST_F(CliTest, ServeReplayRejectsMalformedLines) {
+  const std::string tag = std::to_string(getpid());
+  const std::string replay =
+      testing::TempDir() + "/psclip_cli_" + tag + "_badreplay.txt";
+  std::ofstream(replay) << "frobnicate " << a_path_ << " " << b_path_ << "\n";
+  int rc = -1;
+  const std::string out = run("--serve-replay=" + replay, &rc);
+  std::remove(replay.c_str());
+  EXPECT_EQ(rc, 2);
+  EXPECT_NE(out.find("expected '<op>"), std::string::npos) << out;
+}
+
 TEST_F(CliTest, EmptyTraceOutPathIsUsage) {
   int rc = -1;
   const std::string out =

@@ -26,10 +26,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "error.hpp"
 #include "fuzz_cases.hpp"
@@ -38,6 +41,8 @@
 #include "parallel/cancel.hpp"
 #include "parallel/fault.hpp"
 #include "parallel/thread_pool.hpp"
+#include "psclip.hpp"
+#include "svc/clip_service.hpp"
 
 namespace psclip {
 namespace {
@@ -211,6 +216,148 @@ TEST_P(GovernanceSoak, EveryOutcomeKeepsTheContract) {
 
 INSTANTIATE_TEST_SUITE_P(Seeded, GovernanceSoak,
                          ::testing::ValuesIn(fuzz::make_cases()));
+
+// Multi-request lane: the single-request contracts above must survive a
+// ClipService mixing concurrently-submitted governed requests on one pool,
+// with the prepared-contour cache on and off and a governance fault armed
+// for some rounds. Per-request isolation is the point — one request's
+// deadline trip, budget blow or injected stall must never change another
+// request's bytes, and every shared meter must balance at drain.
+TEST(ServiceChaosSoak, ConcurrentGovernedRequestsStayIsolated) {
+  // Every 8th corpus case keeps the lane's runtime sane under sanitizers
+  // while still crossing every shape/degeneracy family.
+  const std::vector<FuzzCase> all = fuzz::make_cases();
+  std::vector<FuzzCase> cases;
+  std::vector<Inputs> inputs;
+  for (std::size_t i = 0; i < all.size(); i += 8) {
+    cases.push_back(all[i]);
+    inputs.push_back(make_inputs(all[i]));
+  }
+
+  static par::ThreadPool pool(4);
+  par::fault::disarm();
+  std::vector<PolygonSet> refs;
+  refs.reserve(cases.size());
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    ClipOptions copts;
+    copts.engine = Engine::kSlab;
+    copts.pool = &pool;
+    refs.push_back(clip(inputs[i].a, inputs[i].b, cases[i].op, copts));
+  }
+
+  for (const bool cache_on : {true, false}) {
+    svc::ServiceOptions sopts;
+    sopts.enable_cache = cache_on;
+    sopts.max_queued = 64;
+    auto cache_budget = std::make_shared<par::ResourceBudget>(8ull << 20);
+    if (cache_on) sopts.cache.budget = cache_budget;
+    svc::ClipService service(pool, sopts);
+
+    constexpr unsigned kRounds = 3;
+    constexpr int kClients = 3;
+    for (unsigned round = 0; round < kRounds; ++round) {
+      // Round 0 runs fault-free; later rounds arm one seeded governance
+      // fault (kStall / kHog) any concurrent request may hit.
+      const par::fault::Plan plan = par::fault::seeded_governance_plan(
+          0x5e71ce + round * 131 + (cache_on ? 7 : 0), 8);
+      if (round != 0) par::fault::arm(plan);
+
+      std::atomic<int> contract_failures{0};
+      std::vector<std::thread> clients;
+      clients.reserve(kClients);
+      for (int t = 0; t < kClients; ++t) {
+        clients.emplace_back([&, t, round] {
+          for (std::size_t i = t; i < cases.size();
+               i += static_cast<std::size_t>(kClients)) {
+            const SoakConfig cfg = derive_config(
+                cases[i].seed ^ (round * 0x9e3779b9ull) ^
+                (static_cast<std::uint64_t>(t) << 51));
+            svc::ClipRequest req;
+            req.subject = inputs[i].a;
+            req.clip = inputs[i].b;
+            req.op = cases[i].op;
+            req.engine = Engine::kSlab;
+            req.allow_partial = cfg.allow_partial;
+            std::shared_ptr<par::ResourceBudget> budget;
+            if (cfg.deadline_ms >= 0 || cfg.budget_bytes != 0) {
+              req.cancel = par::CancelToken::make();
+              if (cfg.deadline_ms >= 0)
+                req.cancel.set_deadline(par::Deadline::in_ms(cfg.deadline_ms));
+              if (cfg.budget_bytes != 0) {
+                budget =
+                    std::make_shared<par::ResourceBudget>(cfg.budget_bytes);
+                req.cancel.set_budget(budget);
+              }
+            }
+            try {
+              const svc::ClipResult res = service.submit(req);
+              if (res.partial.partial) {
+                if (!cfg.allow_partial || !is_governance(res.partial.cause)) {
+                  contract_failures.fetch_add(1, std::memory_order_relaxed);
+                  ADD_FAILURE() << "bad partial: " << cases[i].repro() << " "
+                                << cfg.describe();
+                }
+              } else if (canonical_vertices(res.output) !=
+                         canonical_vertices(refs[i])) {
+                contract_failures.fetch_add(1, std::memory_order_relaxed);
+                ADD_FAILURE()
+                    << "a concurrent governed neighbor changed this "
+                       "request's bytes: "
+                    << cases[i].repro() << " " << cfg.describe();
+              }
+            } catch (const Error& e) {
+              if (!is_governance(e.code())) {
+                contract_failures.fetch_add(1, std::memory_order_relaxed);
+                ADD_FAILURE() << "non-governance failure "
+                              << static_cast<int>(e.code()) << ": "
+                              << cases[i].repro() << " " << cfg.describe();
+              }
+            } catch (...) {
+              contract_failures.fetch_add(1, std::memory_order_relaxed);
+              ADD_FAILURE() << "threw something other than psclip::Error: "
+                            << cases[i].repro();
+            }
+            // Per-request budget meters balance however the request ended.
+            if (budget && budget->used() != 0) {
+              contract_failures.fetch_add(1, std::memory_order_relaxed);
+              ADD_FAILURE() << "request budget leaked " << budget->used()
+                            << "B: " << cases[i].repro() << " "
+                            << cfg.describe();
+            }
+          }
+        });
+      }
+      for (auto& th : clients) th.join();
+      par::fault::disarm();
+      EXPECT_EQ(contract_failures.load(), 0)
+          << "round " << round << " cache=" << cache_on;
+    }
+
+    // Service meters balance at drain.
+    EXPECT_EQ(service.submitted(),
+              service.completed() + service.failed() + service.rejected());
+    EXPECT_EQ(service.rejected(), 0u)
+        << "the lane was sized to never overflow admission";
+    EXPECT_EQ(service.in_flight(), 0u);
+    if (cache_on) {
+      ASSERT_NE(service.cache(), nullptr);
+      EXPECT_FALSE(cache_budget->blown())
+          << "the cache's dedicated budget must be governed by eviction";
+      EXPECT_EQ(cache_budget->used(), service.cache()->resident_bytes());
+    }
+
+    // Post-soak hygiene: an ungoverned resubmission reproduces the
+    // reference — tripped neighbors left no cross-request debris behind.
+    svc::ClipRequest clean;
+    clean.subject = inputs[0].a;
+    clean.clip = inputs[0].b;
+    clean.op = cases[0].op;
+    clean.engine = Engine::kSlab;
+    EXPECT_EQ(canonical_vertices(service.submit(clean).output),
+              canonical_vertices(refs[0]))
+        << "cache=" << cache_on;
+  }
+}
 
 }  // namespace
 }  // namespace psclip

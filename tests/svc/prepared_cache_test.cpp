@@ -1,0 +1,314 @@
+#include "svc/prepared_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "geom/polygon.hpp"
+#include "obs/recorder.hpp"
+#include "parallel/cancel.hpp"
+#include "seq/bounds.hpp"
+
+namespace psclip {
+namespace {
+
+using geom::Contour;
+using geom::Point;
+using svc::PreparedCache;
+using svc::PreparedCacheConfig;
+
+Contour square(double x0, double y0, double side) {
+  Contour c;
+  c.pts = {{x0, y0}, {x0 + side, y0}, {x0 + side, y0 + side}, {x0, y0 + side}};
+  return c;
+}
+
+/// n-gon ring: distinct vertex counts give distinct entry costs.
+Contour ring(std::size_t n, double cx, double cy, double r) {
+  Contour c;
+  c.pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = 2.0 * 3.141592653589793 * static_cast<double>(i) /
+                     static_cast<double>(n);
+    c.pts.push_back({cx + r * std::cos(t), cy + r * std::sin(t)});
+  }
+  return c;
+}
+
+bool same_prepared(const seq::PreparedContour& a,
+                   const seq::PreparedContour& b) {
+  if (a.pts.pts.size() != b.pts.pts.size() || a.ys != b.ys ||
+      a.finite != b.finite || a.bt.edges.size() != b.bt.edges.size() ||
+      a.bt.minima.size() != b.bt.minima.size())
+    return false;
+  return a.pts.pts.empty() ||
+         std::memcmp(a.pts.pts.data(), b.pts.pts.data(),
+                     a.pts.pts.size() * sizeof(Point)) == 0;
+}
+
+TEST(ContourDigest, StableAndDiscriminating) {
+  const Contour a = square(0, 0, 2);
+  EXPECT_EQ(seq::contour_digest(a, false), seq::contour_digest(a, false));
+  // is_clip is part of the key: subject and clip prepares differ.
+  EXPECT_NE(seq::contour_digest(a, false), seq::contour_digest(a, true));
+  // Any coordinate change changes the digest.
+  Contour b = a;
+  b.pts[2].x += 1e-9;
+  EXPECT_NE(seq::contour_digest(a, false), seq::contour_digest(b, false));
+  // Bit patterns, not values: 0.0 and -0.0 are distinct content.
+  Contour z1 = square(0, 0, 2), z2 = z1;
+  z2.pts[0].x = -0.0;
+  EXPECT_NE(seq::contour_digest(z1, false), seq::contour_digest(z2, false));
+}
+
+TEST(PreparedCache, HitMissAccountingAndFragmentSharing) {
+  PreparedCache cache;
+  const Contour a = square(0, 0, 2);
+
+  const auto first = cache.prepared(a, false);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_GT(cache.resident_bytes(), 0u);
+
+  const auto second = cache.prepared(a, false);
+  EXPECT_EQ(second.get(), first.get()) << "hit must share the fragment";
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Same bytes prepared as clip is a different key (different bound table).
+  const auto as_clip = cache.prepared(a, true);
+  ASSERT_NE(as_clip, nullptr);
+  EXPECT_NE(as_clip.get(), first.get());
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(PreparedCache, ValueMatchesDirectPrepare) {
+  PreparedCache cache;
+  for (const bool is_clip : {false, true}) {
+    const Contour c = ring(9, 1.5, -2.0, 3.0);
+    seq::PreparedContour want;
+    ASSERT_TRUE(seq::prepare_contour(c, is_clip, want));
+    const auto got = cache.prepared(c, is_clip);
+    ASSERT_NE(got, nullptr);
+    EXPECT_TRUE(same_prepared(*got, want)) << "is_clip=" << is_clip;
+  }
+}
+
+TEST(PreparedCache, DegenerateContoursCacheTheNegativeResult) {
+  PreparedCache cache;
+  Contour bad;
+  bad.pts = {{0, 0}, {1, 1}};  // < 3 vertices: prepare_contour returns false
+  EXPECT_EQ(cache.prepared(bad, false), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.prepared(bad, false), nullptr);
+  EXPECT_EQ(cache.hits(), 1u) << "the negative result must be cached too";
+}
+
+TEST(PreparedCache, EvictsLeastRecentlyUsedAtTheByteLimit) {
+  // Calibrate: same-shape squares cost the same per entry.
+  std::uint64_t per_entry = 0;
+  {
+    PreparedCache probe;
+    (void)probe.prepared(square(0, 0, 1), false);
+    per_entry = probe.resident_bytes();
+    ASSERT_GT(per_entry, 0u);
+  }
+
+  PreparedCacheConfig cfg;
+  cfg.byte_limit = 2 * per_entry + per_entry / 2;  // fits exactly two
+  PreparedCache cache(cfg);
+  const Contour a = square(0, 0, 1), b = square(10, 0, 1), c = square(20, 0, 1);
+
+  (void)cache.prepared(a, false);
+  (void)cache.prepared(b, false);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 0u);
+
+  (void)cache.prepared(a, false);  // touch: A becomes MRU, B is now LRU
+  (void)cache.prepared(c, false);  // insert: evicts B
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_LE(cache.resident_bytes(), cfg.byte_limit);
+
+  const std::uint64_t misses_before = cache.misses();
+  (void)cache.prepared(a, false);
+  (void)cache.prepared(c, false);
+  EXPECT_EQ(cache.misses(), misses_before) << "A and C must still be resident";
+  (void)cache.prepared(b, false);
+  EXPECT_EQ(cache.misses(), misses_before + 1) << "B was the evicted entry";
+}
+
+TEST(PreparedCache, BudgetTighterThanLimitEvictsBeforeBlowing) {
+  std::uint64_t per_entry = 0;
+  {
+    PreparedCache probe;
+    (void)probe.prepared(square(0, 0, 1), false);
+    per_entry = probe.resident_bytes();
+  }
+
+  PreparedCacheConfig cfg;
+  cfg.byte_limit = 64ull << 20;  // cache's own limit is generous...
+  cfg.budget = std::make_shared<par::ResourceBudget>(2 * per_entry +
+                                                     per_entry / 2);
+  PreparedCache cache(cfg);  // ...the external budget is the binding one
+
+  for (int i = 0; i < 6; ++i)
+    ASSERT_NE(cache.prepared(square(10.0 * i, 0, 1), false), nullptr);
+
+  EXPECT_GE(cache.evictions(), 4u);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_FALSE(cfg.budget->blown())
+      << "a dedicated cache budget must be held below the trip line by "
+         "eviction, never blown";
+  EXPECT_EQ(cfg.budget->used(), cache.resident_bytes())
+      << "budget charges must mirror residency exactly";
+  EXPECT_LE(cfg.budget->peak(), cfg.budget->limit());
+
+  cache.clear();
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cfg.budget->used(), 0u) << "clear() must release every charge";
+}
+
+TEST(PreparedCache, EntryLargerThanBudgetBypassesInsteadOfErroring) {
+  PreparedCacheConfig cfg;
+  cfg.budget = std::make_shared<par::ResourceBudget>(64);  // nothing fits
+  PreparedCache cache(cfg);
+
+  const Contour c = ring(12, 0, 0, 5);
+  seq::PreparedContour want;
+  ASSERT_TRUE(seq::prepare_contour(c, false, want));
+  const auto got = cache.prepared(c, false);
+  ASSERT_NE(got, nullptr) << "bypass still serves the prepared fragment";
+  EXPECT_TRUE(same_prepared(*got, want));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_GE(cache.bypasses(), 1u);
+  EXPECT_FALSE(cfg.budget->blown())
+      << "an unfittable entry is a bypass, not a governance trip";
+  EXPECT_EQ(cfg.budget->used(), 0u);
+}
+
+TEST(PreparedCache, ZeroByteLimitDisablesResidency) {
+  PreparedCacheConfig cfg;
+  cfg.byte_limit = 0;
+  PreparedCache cache(cfg);
+  const Contour c = square(0, 0, 3);
+  ASSERT_NE(cache.prepared(c, false), nullptr);
+  ASSERT_NE(cache.prepared(c, false), nullptr);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.resident_bytes(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST(PreparedCache, DigestCollisionDegradesToMissNeverWrongGeometry) {
+  PreparedCacheConfig cfg;
+  // Force every contour onto one digest: the byte comparison alone must
+  // keep distinct contours apart.
+  cfg.digest_fn = [](const Contour&, bool) -> std::uint64_t { return 42; };
+  PreparedCache cache(cfg);
+
+  const Contour a = square(0, 0, 2), b = ring(7, 5, 5, 2);
+  seq::PreparedContour want_a, want_b;
+  ASSERT_TRUE(seq::prepare_contour(a, false, want_a));
+  ASSERT_TRUE(seq::prepare_contour(b, false, want_b));
+
+  const auto got_a = cache.prepared(a, false);
+  const auto got_b = cache.prepared(b, false);  // same digest, other bytes
+  ASSERT_NE(got_a, nullptr);
+  ASSERT_NE(got_b, nullptr);
+  EXPECT_EQ(cache.misses(), 2u) << "equal digest + unequal bytes is a miss";
+  EXPECT_GE(cache.collisions(), 1u);
+  EXPECT_TRUE(same_prepared(*got_a, want_a));
+  EXPECT_TRUE(same_prepared(*got_b, want_b));
+
+  // Both entries coexist under the shared digest and hit independently.
+  EXPECT_EQ(cache.prepared(a, false).get(), got_a.get());
+  EXPECT_EQ(cache.prepared(b, false).get(), got_b.get());
+  EXPECT_EQ(cache.hits(), 2u);
+}
+
+TEST(PreparedCache, CountersFlowIntoTheTraceSink) {
+  obs::TraceRecorder rec;
+  PreparedCacheConfig cfg;
+  cfg.sink = &rec;
+  PreparedCache cache(cfg);
+  const Contour c = square(0, 0, 1);
+  (void)cache.prepared(c, false);
+  (void)cache.prepared(c, false);
+  const obs::MetricsSnapshot snap = rec.metrics().snapshot();
+  std::int64_t hits = 0, misses = 0, resident = -1;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "svc.cache.hits") hits = v;
+    if (name == "svc.cache.misses") misses = v;
+  }
+  for (const auto& [name, v] : snap.gauges)
+    if (name == "svc.cache.resident_bytes") resident = v;
+  EXPECT_EQ(hits, 1);
+  EXPECT_EQ(misses, 1);
+  EXPECT_EQ(resident, static_cast<std::int64_t>(cache.resident_bytes()));
+}
+
+TEST(PreparedCache, ConcurrentLookupsStayConsistentUnderChurn) {
+  constexpr int kThreads = 8;
+  constexpr int kIters = 250;
+  constexpr std::size_t kContours = 24;
+
+  std::vector<Contour> contours;
+  std::vector<seq::PreparedContour> want(kContours);
+  for (std::size_t i = 0; i < kContours; ++i) {
+    contours.push_back(ring(5 + i, static_cast<double>(i), 0.0, 2.5));
+    ASSERT_TRUE(seq::prepare_contour(contours[i], (i % 2) != 0, want[i]));
+  }
+
+  // Size the cache to hold only a handful of entries so insert, hit and
+  // eviction all race constantly.
+  std::uint64_t per_entry = 0;
+  {
+    PreparedCache probe;
+    (void)probe.prepared(contours[0], false);
+    per_entry = probe.resident_bytes();
+  }
+  PreparedCacheConfig cfg;
+  cfg.byte_limit = 4 * per_entry;
+  cfg.budget = std::make_shared<par::ResourceBudget>(6 * per_entry);
+  PreparedCache cache(cfg);
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      std::uint64_t rng = 0x9e3779b97f4a7c15ull * (t + 1);
+      for (int it = 0; it < kIters; ++it) {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        const std::size_t i = rng % kContours;
+        const auto got = cache.prepared(contours[i], (i % 2) != 0);
+        if (!got || !same_prepared(*got, want[i]))
+          mismatches.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  // Every lookup resolved to exactly one of hit/miss.
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GT(cache.evictions(), 0u) << "the limit was sized to force churn";
+  EXPECT_LE(cache.resident_bytes(), cfg.byte_limit);
+  EXPECT_FALSE(cfg.budget->blown());
+  EXPECT_EQ(cfg.budget->used(), cache.resident_bytes());
+}
+
+}  // namespace
+}  // namespace psclip
